@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Each benchmark module regenerates one paper artifact (table or figure):
+it sweeps the workload, prints the reproduced rows/series with
+``emit_report`` (also writing ``benchmarks/results/<name>.txt``), and
+registers one representative run with pytest-benchmark for timing.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a reproduced artifact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

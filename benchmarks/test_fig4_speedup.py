@@ -1,0 +1,75 @@
+"""Fig. 4 — multi-GPU speedup over 1 GPU for all six primitives.
+
+Paper result (Section VII-B, 6x K40): geometric-mean speedups of
+{2.63, 2.57, 2.00, 1.96, 3.86}x for BFS, SSSP, CC, BC, PR — and a flat
+(~1x) curve for DOBFS, which is communication-bound.  We regenerate the
+full grid (6 primitives x dataset suite x 1-6 GPUs) and check the
+ordering/shape: PR scales best, DOBFS is flat, everything else lands in
+the ~1.5-3.5x band, and speedups grow with GPU count for the scalable
+primitives.
+"""
+
+import pytest
+
+from conftest import emit_report
+from repro.analysis.reporting import render_table
+from repro.analysis.scaling import geomean_speedups, run_speedup_sweep
+
+PRIMS = ["bfs", "dobfs", "sssp", "cc", "bc", "pr"]
+SUITE = [
+    "soc-LiveJournal1",
+    "hollywood-2009",
+    "soc-orkut",
+    "indochina-2004",
+    "uk-2002",
+    "rmat_n21_256",
+]
+GPU_COUNTS = (1, 2, 3, 4, 5, 6)
+
+PAPER_6GPU = {
+    "bfs": 2.63,
+    "sssp": 2.57,
+    "cc": 2.00,
+    "bc": 1.96,
+    "pr": 3.86,
+    "dobfs": 1.0,
+}
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_primitive_speedups(benchmark):
+    speedups = {}
+    for prim in PRIMS:
+        pts = run_speedup_sweep(prim, SUITE, gpu_counts=GPU_COUNTS, src=1)
+        speedups[prim] = geomean_speedups(pts)
+
+    rows = [
+        [prim]
+        + [f"{speedups[prim][n]:.2f}" for n in GPU_COUNTS]
+        + [f"{PAPER_6GPU[prim]:.2f}"]
+        for prim in PRIMS
+    ]
+    emit_report(
+        "fig4_speedup",
+        render_table(
+            ["primitive"] + [f"{n}GPU" for n in GPU_COUNTS] + ["paper@6"],
+            rows,
+            title="Fig. 4: geomean speedup over 1 GPU (K40 node)",
+        ),
+    )
+
+    # shape assertions against the paper
+    six = {p: speedups[p][6] for p in PRIMS}
+    assert six["pr"] == max(six.values())  # PR scales best
+    assert six["dobfs"] == min(six.values())  # DOBFS flat/worst
+    assert six["dobfs"] < 1.6
+    for prim in ("bfs", "sssp", "cc", "bc"):
+        assert 1.2 < six[prim] < 4.5, f"{prim}: {six[prim]}"
+        # monotone-ish growth with GPU count (small dips allowed)
+        assert speedups[prim][6] >= speedups[prim][2] * 0.9
+
+    benchmark(
+        lambda: run_speedup_sweep(
+            "bfs", ["soc-LiveJournal1"], gpu_counts=(1, 6), src=1
+        )
+    )

@@ -1,0 +1,88 @@
+"""Fig. 5 — strong and weak scaling of DOBFS, BFS, PR on K80 and P100.
+
+Paper findings:
+* BFS and PR: near-linear weak AND strong scaling from 1 to 8 GPUs;
+* DOBFS: positive weak scaling but flat strong scaling (its W and H are
+  both ~O(|Vi|)), and the effect is *worse on P100* because computation
+  speeds up while inter-GPU bandwidth stays the same;
+* workloads: strong = rmat 2^24 EF 32; weak-edge = 2^19 with EF 256·n;
+  weak-vertex = 2^19·n with EF 256 (ours are scale-reduced with the
+  matching machine scale, DESIGN.md).
+"""
+
+import pytest
+
+from conftest import emit_report
+from repro.analysis.reporting import render_series
+from repro.analysis.scaling import (
+    strong_scaling,
+    weak_edge_scaling,
+    weak_vertex_scaling,
+)
+from repro.sim.device import K80_HALF, P100
+
+GPUS = (1, 2, 3, 4, 5, 6, 7, 8)
+POW2 = (1, 2, 4, 8)
+
+
+def _series(points):
+    return [p.num_gpus for p in points], [p.gteps for p in points]
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_scaling(benchmark):
+    lines = []
+    curves = {}
+    for spec, sysname in ((K80_HALF, "K80"), (P100, "P100")):
+        for prim in ("dobfs", "bfs", "pr"):
+            s = strong_scaling(prim, gpu_counts=GPUS, spec=spec,
+                               scale=13, edge_factor=32, machine_scale=2048.0)
+            we = weak_edge_scaling(prim, gpu_counts=GPUS, spec=spec)
+            wv = weak_vertex_scaling(prim, gpu_counts=POW2, spec=spec)
+            for label, pts in (
+                ("strong", s),
+                ("weak-edge", we),
+                ("weak-vertex", wv),
+            ):
+                xs, ys = _series(pts)
+                curves[(prim, sysname, label)] = dict(zip(xs, ys))
+                lines.append(
+                    render_series(f"{prim} {sysname} {label} (GTEPS)", xs, ys)
+                )
+
+    emit_report("fig5_scaling", "\n".join(lines))
+
+    for sysname in ("K80", "P100"):
+        # BFS and PR strong-scale well: 8 GPUs >= 1.8x the 1-GPU rate
+        # (the faster P100 hits the communication wall sooner)
+        for prim in ("bfs", "pr"):
+            c = curves[(prim, sysname, "strong")]
+            assert c[8] > 1.8 * c[1], (prim, sysname, c)
+        # DOBFS strong scaling is flat-to-negative
+        c = curves[("dobfs", sysname, "strong")]
+        assert c[8] < 1.6 * c[1], c
+        # DOBFS still weak-scales (throughput does not collapse)
+        c = curves[("dobfs", sysname, "weak-edge")]
+        assert c[8] > 0.5 * c[1], c
+    # P100 computes faster at equal interconnect: 1-GPU rates higher...
+    assert (
+        curves[("bfs", "P100", "strong")][1]
+        > curves[("bfs", "K80", "strong")][1]
+    )
+    # ...but DOBFS's strong-scaling *ratio* is no better on P100
+    k80_ratio = (
+        curves[("dobfs", "K80", "strong")][8]
+        / curves[("dobfs", "K80", "strong")][1]
+    )
+    p100_ratio = (
+        curves[("dobfs", "P100", "strong")][8]
+        / curves[("dobfs", "P100", "strong")][1]
+    )
+    assert p100_ratio <= k80_ratio * 1.1
+
+    benchmark(
+        lambda: strong_scaling(
+            "bfs", gpu_counts=(1, 8), spec=K80_HALF, scale=11,
+            edge_factor=16, machine_scale=2048.0,
+        )
+    )

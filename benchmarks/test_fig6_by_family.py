@@ -1,0 +1,64 @@
+"""Fig. 6 — speedups separated by graph family (rmat / soc / web).
+
+Paper findings:
+* DOBFS scaling suffers *most* on rmat (its W sinks to O(|Vi|) while the
+  broadcast H stays O(|V|), so communication dominates);
+* the larger |E|/|V| of rmat *helps* BFS and PR scale (computation is
+  O(|Ei|) vs communication at most O(|Vi|)).
+We regenerate the per-family geomean speedup grid for BFS, DOBFS, PR at
+2-6 GPUs.
+"""
+
+import pytest
+
+from conftest import emit_report
+from repro.analysis.reporting import render_table
+from repro.analysis.scaling import geomean_speedups, run_speedup_sweep
+
+FAMILIES = {
+    "rmat": ["rmat_n20_512", "rmat_n21_256"],
+    "soc": ["soc-LiveJournal1", "soc-orkut"],
+    "web": ["indochina-2004", "uk-2002"],
+}
+GPU_COUNTS = (1, 2, 4, 6)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_family_speedups(benchmark):
+    table = {}
+    rows = []
+    for prim in ("bfs", "dobfs", "pr"):
+        for fam, suite in FAMILIES.items():
+            pts = run_speedup_sweep(prim, suite, gpu_counts=GPU_COUNTS, src=1)
+            sp = geomean_speedups(pts)
+            table[(prim, fam)] = sp
+            rows.append(
+                [prim, fam] + [f"{sp[n]:.2f}" for n in GPU_COUNTS]
+            )
+
+    emit_report(
+        "fig6_by_family",
+        render_table(
+            ["primitive", "family"] + [f"{n}GPU" for n in GPU_COUNTS],
+            rows,
+            title="Fig. 6: geomean speedup over 1 GPU by graph family",
+        ),
+    )
+
+    # rmat hurts DOBFS most
+    assert (
+        table[("dobfs", "rmat")][6]
+        <= min(table[("dobfs", "soc")][6], table[("dobfs", "web")][6]) + 0.05
+    )
+    # rmat's higher |E|/|V| helps BFS and PR relative to at least one
+    # sparser family
+    for prim in ("bfs", "pr"):
+        assert table[(prim, "rmat")][6] >= min(
+            table[(prim, "soc")][6], table[(prim, "web")][6]
+        ) * 0.95
+
+    benchmark(
+        lambda: run_speedup_sweep(
+            "bfs", ["rmat_n20_512"], gpu_counts=(1, 4), src=1
+        )
+    )

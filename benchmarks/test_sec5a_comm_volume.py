@@ -1,0 +1,91 @@
+"""Section V-A — sensitivity to communication volume H and latency.
+
+Paper findings:
+* runtime varies *linearly* with artificially-inflated H;
+* DOBFS is more sensitive to H than BFS and PR (its W and H are of the
+  same scale, especially on rmat);
+* inflating communication *latency* 10x makes "no appreciable
+  difference".
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit_report
+from repro.analysis.reporting import render_table
+from repro.core.enactor import Enactor
+from repro.graph import datasets
+from repro.primitives.bfs import BFSIteration, BFSProblem
+from repro.primitives.dobfs import DOBFSIteration, DOBFSProblem
+from repro.primitives.pr import PRIteration, PRProblem
+from repro.sim.machine import Machine
+from repro.sim.memory import FixedPrealloc
+
+DATASET = "rmat_n21_256"
+INFLATIONS = [1, 2, 4, 8]
+
+
+def _elapsed(prim, inflation, latency_scale=1.0):
+    g = datasets.load(DATASET)
+    scale = datasets.machine_scale(DATASET)
+    machine = Machine(4, scale=scale)
+    if prim == "bfs":
+        prob, it = BFSProblem(g, machine), BFSIteration
+        kwargs = {"src": 1}
+        scheme = None
+    elif prim == "dobfs":
+        prob, it = DOBFSProblem(g, machine), DOBFSIteration
+        kwargs = {"src": 1}
+        scheme = None
+    else:
+        prob, it = (
+            PRProblem(g, machine, max_iter=20, threshold=0.0),
+            PRIteration,
+        )
+        kwargs = {}
+        scheme = FixedPrealloc()
+    en = Enactor(
+        prob,
+        it,
+        scheme=scheme,
+        comm_volume_scale=float(inflation),
+        comm_latency_scale=latency_scale,
+    )
+    return en.enact(**kwargs).elapsed
+
+
+@pytest.mark.benchmark(group="sec5a")
+def test_sec5a_comm_volume_sensitivity(benchmark):
+    rows = []
+    slopes = {}
+    for prim in ("bfs", "dobfs", "pr"):
+        times = [_elapsed(prim, h) for h in INFLATIONS]
+        rel = [t / times[0] for t in times]
+        # linear-fit slope of runtime vs inflation factor
+        slope = float(np.polyfit(INFLATIONS, rel, 1)[0])
+        slopes[prim] = slope
+        rows.append([prim] + [f"{r:.2f}" for r in rel] + [f"{slope:.3f}"])
+
+        # runtime grows ~linearly: the quadratic residual is small
+        fit = np.polyval(np.polyfit(INFLATIONS, rel, 1), INFLATIONS)
+        assert np.max(np.abs(fit - rel)) < 0.25 * max(rel)
+
+    emit_report(
+        "sec5a_comm_volume",
+        render_table(
+            ["primitive"] + [f"Hx{h}" for h in INFLATIONS] + ["slope"],
+            rows,
+            title=f"Sec V-A: relative runtime vs H inflation ({DATASET}, 4 GPUs)",
+        ),
+    )
+
+    # DOBFS is the most H-sensitive primitive
+    assert slopes["dobfs"] > slopes["bfs"]
+    assert slopes["dobfs"] > slopes["pr"]
+
+    # latency x10: no appreciable difference (paper: none observed)
+    base = _elapsed("bfs", 1, latency_scale=1.0)
+    slow = _elapsed("bfs", 1, latency_scale=10.0)
+    assert slow < base * 1.25
+
+    benchmark(lambda: _elapsed("bfs", 1))

@@ -1,0 +1,61 @@
+"""Section V-B — per-iteration synchronization latency.
+
+The paper's measurement: make each BFS iteration visit exactly 1 vertex
+and 1 edge (a long path graph); total runtime is then S * l, giving the
+per-iteration overhead l = {66.8, 124, 142, 188} us for 1-4 GPUs.  We
+regenerate the same experiment on the virtual node and check both the
+magnitudes and the paper's qualitative points: the 1->2 GPU jump is the
+biggest, runtime is linear in S.
+"""
+
+import pytest
+
+from conftest import emit_report
+from repro.analysis.reporting import render_table
+from repro.graph.build import line_graph_path
+from repro.primitives.bfs import run_bfs
+from repro.sim.machine import Machine
+
+PAPER_US = {1: 66.8, 2: 124.0, 3: 142.0, 4: 188.0}
+PATH = 400  # iterations ("large S")
+
+
+def _per_iteration_us(num_gpus, length=PATH):
+    g = line_graph_path(length)
+    machine = Machine(num_gpus, scale=1.0)
+    _, metrics, _ = run_bfs(g, machine, src=0)
+    return metrics.elapsed / metrics.supersteps * 1e6, metrics
+
+
+@pytest.mark.benchmark(group="sec5b")
+def test_sec5b_sync_latency(benchmark):
+    rows = []
+    measured = {}
+    for n in (1, 2, 3, 4):
+        us, _ = _per_iteration_us(n)
+        measured[n] = us
+        rows.append([n, f"{us:.1f}", f"{PAPER_US[n]:.1f}"])
+
+    emit_report(
+        "sec5b_sync_latency",
+        render_table(
+            ["GPUs", "measured us/iter", "paper us/iter"],
+            rows,
+            title="Sec V-B: per-iteration overhead, 1-vertex-1-edge workload",
+        ),
+    )
+
+    # magnitudes within 25% of the paper's measurements
+    for n in (1, 2, 3, 4):
+        assert measured[n] == pytest.approx(PAPER_US[n], rel=0.25), n
+    # monotone; biggest jump is 1 -> 2 (inter-GPU sync turns on)
+    assert measured[1] < measured[2] < measured[3] < measured[4]
+    jumps = [measured[i + 1] - measured[i] for i in (1, 2, 3)]
+    assert jumps[0] == max(jumps)
+
+    # runtime linear in S: doubling the path doubles the time
+    t1 = _per_iteration_us(2, length=200)[1].elapsed
+    t2 = _per_iteration_us(2, length=400)[1].elapsed
+    assert t2 == pytest.approx(2 * t1, rel=0.15)
+
+    benchmark(lambda: _per_iteration_us(2, length=100))

@@ -1,0 +1,69 @@
+"""Section VII-C (last paragraph) — comparison vs Daga et al.'s APU.
+
+Paper result (1 K40 vs the Hybrid++ APU): "Gunrock shows 5 to 10x
+performance (TEPS) ... with the exception of the road network, in which
+Gunrock's performance and efficiency are only half of Daga's.  Although
+the APU provides the GPU with direct access to the main memory, its
+overall limited bandwidth bottlenecks its performance."
+
+The crossover is the interesting part: the discrete GPU's bandwidth wins
+whenever frontiers are large; the APU's near-zero per-iteration latency
+wins on high-diameter road networks.
+"""
+
+import pytest
+
+from conftest import emit_report
+from repro.analysis.reporting import render_table
+from repro.baselines.apu import apu_hybrid_bfs
+from repro.graph import datasets
+from repro.primitives import run_bfs
+from repro.sim.machine import Machine
+
+# the Daga et al. comparison spans 8 usable graphs plus the road network
+POWER_LAW = [
+    "soc-LiveJournal1",
+    "hollywood-2009",
+    "soc-orkut",
+    "soc-twitter-2010",
+    "indochina-2004",
+    "uk-2002",
+    "rmat_n21_256",
+    "coPapersCiteseer",
+]
+
+
+def _pair(ds_name):
+    g = datasets.load(ds_name)
+    scale = datasets.machine_scale(ds_name)
+    apu = apu_hybrid_bfs(g, 1, scale=scale).elapsed
+    _, metrics, _ = run_bfs(g, Machine(1, scale=scale), src=1)
+    return apu, metrics.elapsed
+
+
+@pytest.mark.benchmark(group="sec7c")
+def test_sec7c_apu_comparison(benchmark):
+    rows = []
+    ratios = {}
+    for ds in POWER_LAW + ["road-grid"]:
+        apu, ours = _pair(ds)
+        ratios[ds] = apu / ours
+        rows.append(
+            [ds, f"{apu * 1e3:.3f}", f"{ours * 1e3:.3f}",
+             f"{ratios[ds]:.1f}x"]
+        )
+    emit_report(
+        "sec7c_apu",
+        render_table(
+            ["graph", "APU ms", "K40 ms", "our advantage"],
+            rows,
+            title="Sec VII-C: 1x K40 vs Hybrid++(APU) BFS",
+        ),
+    )
+    # 3-12x faster on power-law graphs (paper: 5-10x)
+    for ds in POWER_LAW:
+        assert 2.0 < ratios[ds] < 15.0, (ds, ratios[ds])
+    # ...but the road network flips: the APU wins (paper: we get ~0.5x)
+    assert ratios["road-grid"] < 1.0, ratios["road-grid"]
+
+    benchmark(lambda: _pair("soc-LiveJournal1"))

@@ -1,0 +1,111 @@
+"""Table IV — comparison with out-of-core GPU and CPU systems.
+
+Paper result: the in-core multi-GPU framework processes the *largest*
+graphs those systems report, one to three orders of magnitude faster —
+GraphReduce needs 49-162 s where Gunrock needs 0.06-2 s on uk-2002;
+Frog and Totem are closer but still behind at equal processor count.
+We regenerate the per-system rows as runtimes on the stand-in graphs.
+"""
+
+import pytest
+
+from conftest import emit_report
+from repro.analysis.reporting import render_table
+from repro.baselines import frog_run, graphmap_run, graphreduce_run, totem_run
+from repro.graph import datasets
+from repro.graph.build import add_random_weights
+from repro.primitives import RUNNERS
+from repro.sim.machine import Machine
+
+SRC = 1
+
+
+def _ours(prim, graph, scale, num_gpus):
+    machine = Machine(num_gpus, scale=scale)
+    runner = RUNNERS[prim]
+    if prim in ("bfs", "sssp", "bc"):
+        _, metrics, _ = runner(graph, machine, src=SRC)
+    elif prim == "pr":
+        # same fixed-iteration convention as the out-of-core systems
+        _, metrics, _ = runner(graph, machine, max_iter=30)
+    else:
+        _, metrics, _ = runner(graph, machine)
+    return metrics.elapsed
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_outofcore_comparisons(benchmark):
+    rows = []
+
+    # --- GraphReduce on uk-2002: {BFS, SSSP, CC, PR} x 1 GPU -------------
+    uk = datasets.load("uk-2002")
+    uk_scale = datasets.machine_scale("uk-2002")
+    ukw = add_random_weights(uk, 1, 64, seed=2)
+    paper_gr = {"bfs": (49, 0.059), "sssp": (80, 0.76), "cc": (153, 1.85),
+                "pr": (162, 1.99)}
+    for prim in ("bfs", "sssp", "cc", "pr"):
+        g = ukw if prim == "sssp" else uk
+        theirs = graphreduce_run(g, prim, SRC, scale=uk_scale).elapsed
+        ours = _ours(prim, g, uk_scale, 1)
+        rows.append(
+            [f"GraphReduce {prim} uk-2002", f"{theirs:.2f}", f"{ours:.3f}",
+             f"{theirs / ours:.0f}x",
+             f"{paper_gr[prim][0]}s vs {paper_gr[prim][1]}s"]
+        )
+        # a decisive gap, as in the paper (SSSP's is the narrowest:
+        # frontier relaxation re-runs many supersteps in-core too)
+        assert theirs > 5 * ours, prim
+
+    # --- Frog on twitter-rv stand-in -------------------------------------
+    tw = datasets.load("twitter-rv")
+    tw_scale = datasets.machine_scale("twitter-rv")
+    for prim, gpus in (("bfs", 1), ("cc", 3), ("pr", 1)):
+        theirs = frog_run(tw, prim, SRC, scale=tw_scale).elapsed
+        ours = _ours(prim, tw, tw_scale, gpus)
+        rows.append(
+            [f"Frog {prim} twitter-rv ({gpus} GPU)", f"{theirs:.2f}",
+             f"{ours:.3f}", f"{theirs / ours:.1f}x", ""]
+        )
+        assert theirs > ours, prim
+
+    # --- GraphMap (Lee) on twitter-rv: CPU cluster, 4 cores x 21 nodes ---
+    from repro.types import ID32_F32
+
+    # SSSP stores 32-bit edge values on the GPU (paper: ints in [0, 64])
+    tw32 = datasets.load("twitter-rv", ids=ID32_F32)
+    paper_gm = {"sssp": (126, 2.20), "cc": (304, 1.71), "pr": (149, 49.7)}
+    for prim, gpus in (("sssp", 2), ("cc", 3), ("pr", 1)):
+        g = add_random_weights(tw32, 1, 64, seed=2) if prim == "sssp" else tw
+        theirs = graphmap_run(g, prim, SRC, scale=tw_scale).elapsed
+        ours = _ours(prim, g, tw_scale, gpus)
+        rows.append(
+            [f"GraphMap {prim} twitter-rv ({gpus} GPU)", f"{theirs:.2f}",
+             f"{ours:.3f}", f"{theirs / ours:.1f}x",
+             f"{paper_gm[prim][0]}s vs {paper_gm[prim][1]}s"]
+        )
+        assert theirs > ours, prim
+
+    # --- Totem on twitter-mpi stand-in (2 GPUs + CPUs vs our 4 GPUs) -----
+    tm = datasets.load("twitter-mpi")
+    tm_scale = datasets.machine_scale("twitter-mpi")
+    tmw = add_random_weights(tm, 1, 64, seed=2)
+    for prim in ("bfs", "sssp", "bc", "pr"):
+        g = tmw if prim == "sssp" else tm
+        theirs = totem_run(g, prim, SRC, num_gpus=2, scale=tm_scale).elapsed
+        ours = _ours(prim, g, tm_scale, 4)
+        rows.append(
+            [f"Totem {prim} twitter-mpi", f"{theirs:.3f}", f"{ours:.3f}",
+             f"{theirs / ours:.1f}x", ""]
+        )
+        assert theirs > 0.5 * ours, prim  # we at least match Totem
+
+    emit_report(
+        "table4_outofcore",
+        render_table(
+            ["comparison", "theirs (s)", "ours (s)", "ratio", "paper"],
+            rows,
+            title="Table IV: out-of-core / CPU-hybrid comparisons",
+        ),
+    )
+
+    benchmark(lambda: _ours("bfs", uk, uk_scale, 1))

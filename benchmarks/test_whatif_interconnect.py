@@ -1,0 +1,110 @@
+"""What-if studies on the interconnect — the paper's conclusions section.
+
+Section VIII poses two open questions this harness can probe directly:
+
+1. *"Reducing communication cost is the priority for future mGPU DOBFS"*
+   (Section VI-A): we swap the PCIe3 peer links for NVLink-class links
+   and measure how much of DOBFS's lost scaling comes back.
+2. *"Can we achieve further scalability (scale-out) with multiple nodes,
+   and given the increased latency and decreased bandwidth of those
+   nodes, is it profitable to do so?"*: we model an 8-GPU configuration
+   either as one node (peer groups of 4) or as two 4-GPU nodes joined by
+   a network-class link (6 GB/s, 10 µs — InfiniBand FDR-ish), and compare
+   against the paper's implied preference for scale-up.
+"""
+
+import pytest
+
+from conftest import emit_report
+from repro.analysis.gteps import traversal_gteps
+from repro.analysis.reporting import render_table
+from repro.graph import datasets
+from repro.primitives import run_bfs, run_dobfs
+from repro.sim.interconnect import NVLINK, LinkSpec
+from repro.sim.machine import Machine
+
+DATASET = "rmat_n24_32"
+
+#: inter-node link: EDR InfiniBand-class bandwidth, network latency
+IB_LINK = LinkSpec("infiniband", 6e9, 10e-6)
+
+
+def _run(prim, num_gpus, **machine_kw):
+    g = datasets.load(DATASET)
+    machine = Machine(
+        num_gpus, scale=datasets.machine_scale(DATASET), **machine_kw
+    )
+    run = run_dobfs if prim == "dobfs" else run_bfs
+    labels, metrics, _ = run(g, machine, src=1)
+    return traversal_gteps(g, labels, metrics), metrics
+
+
+@pytest.mark.benchmark(group="whatif")
+def test_whatif_nvlink_for_dobfs(benchmark):
+    rows = []
+    results = {}
+    for label, kw in (
+        ("pcie3-peer", {}),
+        ("nvlink", {"peer_link": NVLINK, "host_link": NVLINK,
+                    "peer_group_size": 8}),
+    ):
+        for n in (1, 4, 8):
+            gteps, _ = _run("dobfs", n, **kw)
+            results[(label, n)] = gteps
+            rows.append([label, n, f"{gteps:.1f}"])
+
+    emit_report(
+        "whatif_nvlink",
+        render_table(
+            ["links", "GPUs", "DOBFS GTEPS"],
+            rows,
+            title=f"What-if: NVLink-class links for DOBFS on {DATASET}",
+        ),
+    )
+    # 1-GPU rate is link-independent
+    assert results[("nvlink", 1)] == pytest.approx(
+        results[("pcie3-peer", 1)], rel=0.01
+    )
+    # NVLink recovers part of the loss — but only part: the broadcast's
+    # combining computation C = O((n-1)|V|) is unchanged by faster wires,
+    # so DOBFS stays bound below its 1-GPU rate.  This sharpens the
+    # paper's conclusion: "reducing communication cost" must include the
+    # communication *computation*, not just bandwidth.
+    assert results[("nvlink", 4)] > 1.1 * results[("pcie3-peer", 4)]
+    assert results[("nvlink", 8)] > 1.1 * results[("pcie3-peer", 8)]
+    assert results[("nvlink", 4)] < results[("nvlink", 1)]
+
+    benchmark(lambda: _run("dobfs", 4))
+
+
+@pytest.mark.benchmark(group="whatif")
+def test_whatif_scale_up_vs_scale_out(benchmark):
+    rows = []
+    results = {}
+    for prim in ("bfs", "dobfs"):
+        # scale-up: one 8-GPU node, peer groups of 4 (the paper's node)
+        up, _ = _run(prim, 8)
+        # scale-out: two 4-GPU nodes; cross-node traffic over the network
+        out, _ = _run(prim, 8, peer_group_size=4, host_link=IB_LINK)
+        results[prim] = (up, out)
+        rows.append([prim, f"{up:.1f}", f"{out:.1f}", f"{up / out:.2f}x"])
+
+    emit_report(
+        "whatif_scale_out",
+        render_table(
+            ["primitive", "scale-up GTEPS", "scale-out GTEPS", "advantage"],
+            rows,
+            title="What-if: 8 GPUs in one node vs 2 nodes (Section VIII)",
+        ),
+    )
+    # the paper's Section I position: "fewer but more powerful nodes, each
+    # with more GPUs" — scale-up wins, most clearly for the
+    # communication-bound DOBFS
+    for prim in ("bfs", "dobfs"):
+        up, out = results[prim]
+        assert up >= out, prim
+    up_b, out_b = results["dobfs"]
+    up_f, out_f = results["bfs"]
+    assert (up_b / out_b) >= (up_f / out_f) * 0.95
+
+    benchmark(lambda: _run("bfs", 8))

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scaling study: reproduce the paper's headline scalability story.
+
+Sweeps BFS, DOBFS, and PageRank over 1-6 virtual K40 GPUs on one rmat
+and one web graph, printing runtime, speedup, GTEPS, and the BSP
+decomposition — showing with live numbers *why* DOBFS stays flat
+(communication-bound broadcast) while BFS/PR scale (computation-bound).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import datasets, run_bfs, run_dobfs, run_pagerank
+from repro.analysis.bsp import decompose
+from repro.analysis.gteps import traversal_gteps
+from repro.analysis.reporting import render_table
+from repro.sim.machine import Machine
+
+GPU_COUNTS = (1, 2, 3, 4, 5, 6)
+
+
+def sweep(prim_name, runner, dataset, **kwargs):
+    graph = datasets.load(dataset)
+    scale = datasets.machine_scale(dataset)
+    rows = []
+    base = None
+    for n in GPU_COUNTS:
+        machine = Machine(n, scale=scale)
+        result, metrics, _ = runner(graph, machine, **kwargs)
+        if base is None:
+            base = metrics.elapsed
+        terms = decompose(metrics).fractions()
+        gteps = (
+            traversal_gteps(graph, result, metrics)
+            if prim_name in ("bfs", "dobfs")
+            else graph.num_edges * metrics.supersteps * scale
+            / metrics.elapsed / 1e9
+        )
+        rows.append(
+            [
+                n,
+                f"{metrics.elapsed * 1e3:.2f}",
+                f"{base / metrics.elapsed:.2f}x",
+                f"{gteps:.1f}",
+                f"{terms['compute']:.0%}",
+                f"{terms['communicate']:.0%}",
+                f"{terms['synchronize']:.0%}",
+            ]
+        )
+    print(
+        render_table(
+            ["GPUs", "ms", "speedup", "GTEPS", "compute", "comm", "sync"],
+            rows,
+            title=f"{prim_name} on {dataset}",
+        )
+    )
+    print()
+
+
+def main() -> None:
+    for dataset in ("rmat_n22_128", "uk-2002"):
+        sweep("bfs", run_bfs, dataset, src=1)
+        sweep("dobfs", run_dobfs, dataset, src=1)
+        sweep("pr", run_pagerank, dataset, max_iter=30)
+    print(
+        "Note how DOBFS's 'comm' fraction explodes with GPU count while\n"
+        "BFS/PR stay compute-dominated — the paper's Section V/VI-A story."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — reproduction of "Multi-GPU Graph Analytics" (Pan et al., IPDPS 2017).
+
+A Gunrock-style programmable multi-GPU graph analytics framework running
+on a simulated multi-GPU node: correctness-bearing computation executes in
+NumPy over genuinely partitioned subgraphs with explicit inter-GPU
+messages; performance comes from a calibrated virtual-time cost model
+(BSP: W + H*g + S*l).  See DESIGN.md for the substitution rationale and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import datasets, k40_node, run_bfs
+    graph = datasets.load("soc-orkut")
+    machine = k40_node(num_gpus=4)
+    labels, metrics, _ = run_bfs(graph, machine, src=0)
+    print(metrics.summary(), metrics.gteps(graph.num_edges))
+"""
+
+from . import graph, partition, primitives, sim
+from .errors import (
+    CommunicationError,
+    ConvergenceError,
+    DeviceMemoryError,
+    GraphFormatError,
+    PartitionError,
+    ReproError,
+    SimulationError,
+)
+from .graph import CooGraph, CsrGraph, build_csr, from_edges
+from .graph import datasets
+from .partition import (
+    BiasedRandomPartitioner,
+    MetisLikePartitioner,
+    RandomPartitioner,
+    make_partitioner,
+)
+from .primitives import (
+    run_bc,
+    run_bfs,
+    run_cc,
+    run_dobfs,
+    run_pagerank,
+    run_sssp,
+)
+from .sim import K40, K80_HALF, P100, Machine, k40_node, k80_node, p100_node
+from .types import ID32, ID32_V64E, ID64, IdConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graph",
+    "partition",
+    "primitives",
+    "sim",
+    "datasets",
+    "CooGraph",
+    "CsrGraph",
+    "build_csr",
+    "from_edges",
+    "RandomPartitioner",
+    "BiasedRandomPartitioner",
+    "MetisLikePartitioner",
+    "make_partitioner",
+    "Machine",
+    "k40_node",
+    "k80_node",
+    "p100_node",
+    "K40",
+    "K80_HALF",
+    "P100",
+    "run_bfs",
+    "run_dobfs",
+    "run_sssp",
+    "run_cc",
+    "run_bc",
+    "run_pagerank",
+    "IdConfig",
+    "ID32",
+    "ID64",
+    "ID32_V64E",
+    "ReproError",
+    "GraphFormatError",
+    "PartitionError",
+    "DeviceMemoryError",
+    "SimulationError",
+    "ConvergenceError",
+    "CommunicationError",
+]

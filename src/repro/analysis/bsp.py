@@ -1,0 +1,148 @@
+"""BSP cost-model analysis: Table I validation and W+Hg+Sl decomposition.
+
+Table I of the paper gives asymptotic bounds for every primitive's local
+computation W, communication computation C, communication volume H and
+iteration count S.  :func:`table1_check` runs a primitive, reads the
+measured counters out of :class:`~repro.sim.metrics.RunMetrics`, and
+reports the measured-to-bound ratios — the reproduction's way of
+*testing* the complexity table rather than quoting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..graph.csr import CsrGraph
+from ..partition.base import PartitionResult
+from ..partition.border import border_matrix
+from ..sim.metrics import RunMetrics
+
+__all__ = ["BspTerms", "decompose", "Table1Row", "table1_check"]
+
+
+@dataclass(frozen=True)
+class BspTerms:
+    """Measured W / Hg / Sl decomposition of one run (seconds)."""
+
+    compute: float  # W-side: sum over supersteps of the slowest GPU
+    communicate: float  # Hg-side: same, for transfer time
+    synchronize: float  # Sl-side: everything else (barriers, overheads)
+    total: float
+
+    def fractions(self) -> Dict[str, float]:
+        t = max(self.total, 1e-30)
+        return {
+            "compute": self.compute / t,
+            "communicate": self.communicate / t,
+            "synchronize": self.synchronize / t,
+        }
+
+
+def decompose(metrics: RunMetrics) -> BspTerms:
+    """Split a run's elapsed time into BSP terms.
+
+    Per superstep the critical path is the slowest GPU; compute and
+    communication are measured there, and the remainder of the superstep
+    duration (barrier latency, launch overhead skew) is synchronization.
+    """
+    compute = comm = sync = 0.0
+    for rec in metrics.iterations:
+        c = max(rec.compute_time.values(), default=0.0)
+        m = max(rec.comm_time.values(), default=0.0)
+        compute += c
+        comm += m
+        sync += max(0.0, rec.duration - c - m)
+    return BspTerms(compute, comm, sync, metrics.elapsed)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Measured counters vs the paper's bound for one primitive."""
+
+    primitive: str
+    measured_W: int  # total edges visited
+    bound_W: float
+    measured_H: int  # total items sent
+    bound_H: float
+    measured_C: int  # total comm-computation items
+    bound_C: float
+    supersteps: int
+
+    @property
+    def w_ratio(self) -> float:
+        return self.measured_W / max(self.bound_W, 1.0)
+
+    @property
+    def h_ratio(self) -> float:
+        return self.measured_H / max(self.bound_H, 1.0)
+
+    @property
+    def c_ratio(self) -> float:
+        return self.measured_C / max(self.bound_C, 1.0)
+
+
+def _partition_quantities(graph: CsrGraph, part: PartitionResult):
+    n = part.num_gpus
+    borders = border_matrix(graph, part)
+    b_in = borders.sum(axis=0)  # vertices each GPU *receives* updates for
+    b_out = borders.sum(axis=1)
+    counts = part.counts()
+    return {
+        "V": graph.num_vertices,
+        "E": graph.num_edges,
+        "n": n,
+        "max_Li": int(counts.max()),
+        "sum_B": int(borders.sum()),
+        "max_Bi": int(max(b_out.max(), b_in.max())) if n > 1 else 0,
+    }
+
+
+def table1_check(
+    primitive: str,
+    graph: CsrGraph,
+    part: PartitionResult,
+    metrics: RunMetrics,
+) -> Table1Row:
+    """Compare a run's measured W/H/C against the Table I bound.
+
+    Bounds are summed over supersteps and GPUs so ratios should be O(1):
+    well below ~2 means the bound holds with room; far above means the
+    implementation does asymptotically more work than the paper's.
+    """
+    q = _partition_quantities(graph, part)
+    S = metrics.supersteps
+    n, V, E = q["n"], q["V"], q["E"]
+    sum_B = q["sum_B"]
+    if primitive in ("bfs",):
+        bound_W, bound_H, bound_C = E, sum_B, S * V
+    elif primitive == "dobfs":
+        bound_W, bound_H, bound_C = E, S * (n - 1) * V, S * (n - 1) * V
+    elif primitive == "sssp":
+        # b: re-relaxation factor, measured as W / E
+        b = max(1.0, metrics.total_edges_visited / max(E, 1))
+        bound_W, bound_H, bound_C = b * E, 2 * b * sum_B, b * S * V
+    elif primitive == "bc":
+        bound_W = 2 * E + V  # forward + backward edges (+ sync pass)
+        bound_H = 5 * sum_B + 2 * (n - 1) * V
+        bound_C = 2 * S * V + (n - 1) * V
+    elif primitive == "cc":
+        bound_W = int(np.ceil(np.log2(max(S, 2)) + 1)) * E * 4
+        bound_H = S * 2 * V * max(n - 1, 1)
+        bound_C = S * V * max(n - 1, 1)
+    elif primitive == "pr":
+        bound_W, bound_H, bound_C = S * E, S * sum_B, S * sum_B
+    else:
+        raise ValueError(f"unknown primitive {primitive!r}")
+    return Table1Row(
+        primitive=primitive,
+        measured_W=metrics.total_edges_visited,
+        bound_W=float(bound_W),
+        measured_H=metrics.total_items_sent,
+        bound_H=float(bound_H),
+        measured_C=metrics.total_comm_compute,
+        bound_C=float(bound_C),
+        supersteps=S,
+    )

@@ -1,0 +1,56 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every benchmark prints the rows/series of the paper artifact it
+regenerates; these helpers keep the output format consistent (and easy to
+diff between runs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_series", "fmt"]
+
+
+def fmt(x, digits: int = 3) -> str:
+    """Format a cell: floats get fixed digits, everything else str()."""
+    if isinstance(x, bool):
+        return str(x)
+    if isinstance(x, float):
+        if x != x:  # NaN
+            return "nan"
+        if abs(x) >= 1e5 or (abs(x) < 1e-3 and x != 0):
+            return f"{x:.{digits}e}"
+        return f"{x:.{digits}f}"
+    return str(x)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    digits: int = 3,
+) -> str:
+    """Render an aligned ASCII table."""
+    srows: List[List[str]] = [[fmt(c, digits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in srows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence, ys: Sequence, digits: int = 3
+) -> str:
+    """Render one figure series as ``name: x=y, x=y, ...``."""
+    pairs = ", ".join(f"{fmt(x, 0)}={fmt(y, digits)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

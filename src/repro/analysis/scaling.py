@@ -1,0 +1,208 @@
+"""Scaling experiment drivers: Fig. 4, Fig. 5, Fig. 6 workloads.
+
+* **Speedup sweeps** (Fig. 4/6): run a primitive on a dataset suite at
+  1..6 GPUs and report per-GPU-count geometric-mean speedup over 1 GPU.
+* **Strong scaling** (Fig. 5): fixed rmat graph, growing GPU count.
+* **Weak-edge scaling**: vertices fixed, edge factor proportional to GPU
+  count (paper: 2^19 vertices, edge factor 256*|GPUs|).
+* **Weak-vertex scaling**: vertices proportional to GPU count, fixed edge
+  factor (paper: 2^19*|GPUs| vertices, edge factor 256).
+
+Workload sizes are the paper's divided by the dataset down-scale
+(DESIGN.md); the simulator's matching ``scale`` keeps the regimes
+equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..graph import datasets
+from ..graph.build import add_random_weights
+from ..graph.csr import CsrGraph
+from ..graph.generators.rmat import generate_rmat
+from ..sim.device import DeviceSpec, K40
+from ..sim.machine import Machine
+from .gteps import traversal_gteps
+
+__all__ = [
+    "ScalingPoint",
+    "run_speedup_sweep",
+    "geomean_speedups",
+    "strong_scaling",
+    "weak_edge_scaling",
+    "weak_vertex_scaling",
+]
+
+
+@dataclass
+class ScalingPoint:
+    """One (primitive, dataset, #GPUs) measurement."""
+
+    primitive: str
+    dataset: str
+    num_gpus: int
+    elapsed: float
+    gteps: float = 0.0
+    supersteps: int = 0
+
+
+def _run_one(
+    primitive: str,
+    graph: CsrGraph,
+    num_gpus: int,
+    spec: DeviceSpec,
+    dataset: str = "",
+    src: int = 0,
+    scale: Optional[float] = None,
+) -> ScalingPoint:
+    from ..primitives import RUNNERS
+    from ..sim.machine import DEFAULT_SCALE
+
+    machine = Machine(num_gpus, spec=spec, scale=scale or DEFAULT_SCALE)
+    runner = RUNNERS[primitive]
+    if primitive in ("bfs", "dobfs", "sssp", "bc"):
+        result, metrics, _ = runner(graph, machine, src=src)
+    else:
+        result, metrics, _ = runner(graph, machine)
+    g = 0.0
+    if primitive in ("bfs", "dobfs"):
+        g = traversal_gteps(graph, result, metrics)
+    elif metrics.elapsed > 0:
+        # iterative primitives touch ~|E| edges per superstep; TEPS counts
+        # total edge visits over the run (the paper's PR series convention)
+        g = (
+            graph.num_edges
+            * metrics.supersteps
+            * metrics.scale
+            / metrics.elapsed
+            / 1e9
+        )
+    return ScalingPoint(
+        primitive=primitive,
+        dataset=dataset,
+        num_gpus=num_gpus,
+        elapsed=metrics.elapsed,
+        gteps=g,
+        supersteps=metrics.supersteps,
+    )
+
+
+def run_speedup_sweep(
+    primitive: str,
+    dataset_names: Sequence[str],
+    gpu_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    spec: DeviceSpec = K40,
+    src: int = 0,
+    weight_seed: int = 2,
+) -> List[ScalingPoint]:
+    """Run a primitive over datasets x GPU counts (the Fig. 4 grid)."""
+    points: List[ScalingPoint] = []
+    for name in dataset_names:
+        g = datasets.load(name)
+        if primitive == "sssp":
+            g = add_random_weights(g, 1, 64, seed=weight_seed)
+        scale = datasets.machine_scale(name)
+        for n in gpu_counts:
+            points.append(
+                _run_one(
+                    primitive, g, n, spec, dataset=name, src=src, scale=scale
+                )
+            )
+    return points
+
+
+def geomean_speedups(points: Sequence[ScalingPoint]) -> Dict[int, float]:
+    """Per-GPU-count geometric mean of speedup over 1 GPU (Fig. 4)."""
+    base: Dict[str, float] = {}
+    for p in points:
+        if p.num_gpus == 1:
+            base[p.dataset] = p.elapsed
+    by_n: Dict[int, List[float]] = {}
+    for p in points:
+        if p.dataset not in base or p.elapsed <= 0:
+            continue
+        by_n.setdefault(p.num_gpus, []).append(base[p.dataset] / p.elapsed)
+    return {
+        n: float(np.exp(np.mean(np.log(v)))) for n, v in sorted(by_n.items())
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 workloads.  Paper sizes divided by the 2^10 down-scale:
+# strong = rmat(2^24, 32)/2^10 ~ rmat scale 15, EF 16;
+# weak-edge = rmat(2^19, 256n)/2^10 ~ scale 11, EF 32n;
+# weak-vertex = rmat(2^19 * n, 256)/2^10 ~ scale 11+log2(n), EF 32.
+# ---------------------------------------------------------------------------
+
+
+def strong_scaling(
+    primitive: str,
+    gpu_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+    spec: DeviceSpec = K40,
+    scale: int = 15,
+    edge_factor: int = 32,
+    seed: int = 1,
+    machine_scale: float = 512.0,
+) -> List[ScalingPoint]:
+    """Fixed rmat graph, growing GPU count (paper: rmat 2^24, EF 32)."""
+    g = generate_rmat(scale, edge_factor, seed=seed)
+    return [
+        _run_one(
+            primitive, g, n, spec,
+            dataset=f"rmat_n{scale}_{edge_factor}", scale=machine_scale,
+        )
+        for n in gpu_counts
+    ]
+
+
+def weak_edge_scaling(
+    primitive: str,
+    gpu_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+    spec: DeviceSpec = K40,
+    scale: int = 13,
+    edge_factor_per_gpu: int = 32,
+    seed: int = 1,
+    machine_scale: float = 64.0,
+) -> List[ScalingPoint]:
+    """Vertices fixed, |E| proportional to GPU count
+    (paper: rmat 2^19 vertices, edge factor 256 * |GPUs|)."""
+    points = []
+    for n in gpu_counts:
+        g = generate_rmat(scale, edge_factor_per_gpu * n, seed=seed)
+        points.append(
+            _run_one(
+                primitive, g, n, spec,
+                dataset=f"weak-edge x{n}", scale=machine_scale,
+            )
+        )
+    return points
+
+
+def weak_vertex_scaling(
+    primitive: str,
+    gpu_counts: Sequence[int] = (1, 2, 4, 8),
+    spec: DeviceSpec = K40,
+    base_scale: int = 13,
+    edge_factor: int = 32,
+    seed: int = 1,
+    machine_scale: float = 64.0,
+) -> List[ScalingPoint]:
+    """|V| proportional to GPU count (power-of-two counts), fixed EF
+    (paper: rmat 2^19 * |GPUs| vertices, edge factor 256)."""
+    points = []
+    for n in gpu_counts:
+        log2n = int(round(np.log2(n)))
+        if 2**log2n != n:
+            raise ValueError("weak-vertex scaling needs power-of-2 GPU counts")
+        g = generate_rmat(base_scale + log2n, edge_factor, seed=seed)
+        points.append(
+            _run_one(
+                primitive, g, n, spec,
+                dataset=f"weak-vertex x{n}", scale=machine_scale,
+            )
+        )
+    return points

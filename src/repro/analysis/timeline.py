@@ -1,0 +1,109 @@
+"""Execution timeline rendering (virtual-time Gantt charts).
+
+The virtual streams can record every operation they execute
+(``Stream.record_history``); this module turns those records into an
+ASCII timeline per GPU/stream, making the BSP structure — compute bursts,
+communication overlap, barrier gaps — directly visible.  Used by the
+scaling examples and handy when debugging a new primitive's cost model.
+
+Usage::
+
+    enable_timeline(machine)
+    Enactor(problem, Iteration).enact(src=0)
+    print(render_timeline(machine, width=100))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.machine import Machine
+
+__all__ = ["enable_timeline", "clear_timeline", "render_timeline", "busy_fraction"]
+
+
+def enable_timeline(machine: Machine) -> None:
+    """Turn on operation recording for every stream of the machine."""
+    for gpu in machine.gpus:
+        for stream in gpu.streams.values():
+            stream.record_history = True
+            stream.history.clear()
+
+
+def clear_timeline(machine: Machine) -> None:
+    """Drop recorded history without disabling recording."""
+    for gpu in machine.gpus:
+        for stream in gpu.streams.values():
+            stream.history.clear()
+
+
+def _horizon(machine: Machine) -> float:
+    end = 0.0
+    for gpu in machine.gpus:
+        for stream in gpu.streams.values():
+            for _s, e, _l in stream.history:
+                end = max(end, e)
+    return end
+
+
+def busy_fraction(machine: Machine, stream_name: str = "compute") -> dict:
+    """Per-GPU fraction of the run each stream spent busy.
+
+    Low compute busy-fractions on multi-GPU runs are the visual signature
+    of latency-bound workloads (the road-network story of Section V-B).
+    """
+    end = _horizon(machine)
+    out = {}
+    for gpu in machine.gpus:
+        stream = gpu.streams.get(stream_name)
+        if stream is None or end <= 0:
+            out[gpu.device_id] = 0.0
+            continue
+        busy = sum(e - s for s, e, _ in stream.history)
+        out[gpu.device_id] = busy / end
+    return out
+
+
+def render_timeline(
+    machine: Machine,
+    width: int = 100,
+    start: float = 0.0,
+    end: Optional[float] = None,
+) -> str:
+    """Render every stream's history as one text row per stream.
+
+    Each column is a time bucket; a cell shows ``#`` when the stream was
+    busy most of that bucket, ``+`` when partially busy, ``.`` when idle.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    end = end if end is not None else _horizon(machine)
+    if end <= start:
+        return "(empty timeline)"
+    span = end - start
+    dt = span / width
+    lines: List[str] = [
+        f"timeline: {start * 1e3:.3f} ms .. {end * 1e3:.3f} ms "
+        f"({dt * 1e6:.1f} us/column)"
+    ]
+    for gpu in machine.gpus:
+        for name, stream in sorted(gpu.streams.items()):
+            buckets = [0.0] * width
+            for s, e, _label in stream.history:
+                s = max(s, start)
+                e = min(e, end)
+                if e <= s:
+                    continue
+                first = int((s - start) / dt)
+                last = min(int((e - start) / dt), width - 1)
+                for b in range(first, last + 1):
+                    b_start = start + b * dt
+                    b_end = b_start + dt
+                    overlap = min(e, b_end) - max(s, b_start)
+                    buckets[b] += max(0.0, overlap)
+            row = "".join(
+                "#" if frac >= 0.5 * dt else ("+" if frac > 0 else ".")
+                for frac in buckets
+            )
+            lines.append(f"gpu{gpu.device_id}.{name:<8s} |{row}|")
+    return "\n".join(lines)

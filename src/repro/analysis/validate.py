@@ -1,0 +1,195 @@
+"""Self-contained result validators (Graph500-style).
+
+The paper states "computations are verified for correctness"
+(Section VII-A).  These validators check a primitive's *output* against
+the input graph using only local consistency properties — O(|E|)
+vectorized passes, no reference run needed — so users can verify results
+on graphs too big to solve twice:
+
+* BFS: the source has level 0; every edge spans at most one level; every
+  reached non-source vertex has a parent-level neighbor; unreached
+  vertices have no reached neighbors.
+* SSSP: distances are a relaxed fixpoint (no edge can improve them) and
+  every reached vertex is supported by a tight incoming edge.
+* CC: both endpoints of every edge share a component; each component's
+  ID is the minimum vertex ID in it.
+* PR: ranks satisfy the PageRank fixpoint equation within tolerance.
+
+Each validator returns a list of human-readable violation strings
+(empty = valid); ``assert_valid`` raises on violations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..graph.csr import CsrGraph
+
+__all__ = [
+    "validate_bfs",
+    "validate_sssp",
+    "validate_cc",
+    "validate_pagerank",
+    "assert_valid",
+]
+
+
+def _edge_endpoints(graph: CsrGraph):
+    src = np.repeat(
+        np.arange(graph.num_vertices, dtype=np.int64),
+        np.diff(graph.row_offsets).astype(np.int64),
+    )
+    return src, graph.col_indices.astype(np.int64)
+
+
+def validate_bfs(graph: CsrGraph, source: int, levels: np.ndarray) -> List[str]:
+    """Check a BFS level array for internal consistency."""
+    problems: List[str] = []
+    levels = np.asarray(levels)
+    if levels.shape != (graph.num_vertices,):
+        return [f"levels has shape {levels.shape}, expected ({graph.num_vertices},)"]
+    if levels[source] != 0:
+        problems.append(f"source {source} has level {levels[source]}, not 0")
+    if np.any((levels < -1)):
+        problems.append("levels below -1 present")
+    src, dst = _edge_endpoints(graph)
+    both = (levels[src] >= 0) & (levels[dst] >= 0)
+    gap = np.abs(levels[src[both]] - levels[dst[both]])
+    if gap.size and gap.max() > 1:
+        k = int(np.argmax(gap))
+        problems.append(
+            f"edge ({src[both][k]},{dst[both][k]}) spans {gap.max()} levels"
+        )
+    # reached/unreached may not touch: an unreached vertex adjacent to a
+    # reached one would have been discovered
+    frontier_leak = (levels[src] >= 0) & (levels[dst] == -1)
+    if np.any(frontier_leak):
+        k = int(np.argmax(frontier_leak))
+        problems.append(
+            f"unreached vertex {dst[k]} adjacent to reached {src[k]}"
+        )
+    # every reached non-source vertex has a neighbor one level up
+    reached = np.flatnonzero(levels > 0)
+    if reached.size:
+        has_parent = np.zeros(graph.num_vertices, dtype=bool)
+        parent_edge = (
+            (levels[src] >= 0) & (levels[dst] == levels[src] + 1)
+        )
+        has_parent[dst[parent_edge]] = True
+        orphans = reached[~has_parent[reached]]
+        if orphans.size:
+            problems.append(
+                f"{orphans.size} reached vertices lack a parent-level "
+                f"neighbor (first: {orphans[0]})"
+            )
+    return problems
+
+
+def validate_sssp(
+    graph: CsrGraph, source: int, dist: np.ndarray, atol: float = 1e-9
+) -> List[str]:
+    """Check an SSSP distance array for the relaxed-fixpoint property."""
+    if graph.values is None:
+        return ["graph has no edge values"]
+    problems: List[str] = []
+    dist = np.asarray(dist, dtype=np.float64)
+    if dist[source] != 0:
+        problems.append(f"source distance is {dist[source]}, not 0")
+    if np.any(dist < 0):
+        problems.append("negative distances present")
+    src, dst = _edge_endpoints(graph)
+    w = graph.values.astype(np.float64)
+    finite = np.isfinite(dist[src])
+    slack = dist[dst[finite]] - (dist[src[finite]] + w[finite])
+    if slack.size and slack.max() > atol:
+        k = int(np.argmax(slack))
+        problems.append(
+            f"edge ({src[finite][k]},{dst[finite][k]}) can relax by "
+            f"{slack.max():.3g}"
+        )
+    # tightness: every finite non-source distance is achieved by an edge
+    reached = np.isfinite(dist)
+    reached[source] = False
+    if np.any(reached):
+        supported = np.zeros(graph.num_vertices, dtype=bool)
+        tight = (
+            np.abs(dist[dst[finite]] - (dist[src[finite]] + w[finite]))
+            <= atol
+        )
+        # map back to full edge indexing
+        idx = np.flatnonzero(finite)[tight]
+        supported[dst[idx]] = True
+        unsupported = np.flatnonzero(reached & ~supported)
+        if unsupported.size:
+            problems.append(
+                f"{unsupported.size} distances not supported by any tight "
+                f"edge (first: {unsupported[0]})"
+            )
+    # unreached vertices must not be adjacent to reached ones
+    leak = np.isfinite(dist[src]) & ~np.isfinite(dist[dst])
+    if np.any(leak):
+        problems.append("unreached vertex adjacent to reached one")
+    return problems
+
+
+def validate_cc(graph: CsrGraph, comp: np.ndarray) -> List[str]:
+    """Check a component array: edge consistency and min-ID convention."""
+    problems: List[str] = []
+    comp = np.asarray(comp)
+    src, dst = _edge_endpoints(graph)
+    if np.any(comp[src] != comp[dst]):
+        k = int(np.argmax(comp[src] != comp[dst]))
+        problems.append(
+            f"edge ({src[k]},{dst[k]}) spans components "
+            f"{comp[src[k]]} and {comp[dst[k]]}"
+        )
+    ids = np.unique(comp)
+    # each component ID must be a member of its own component, and be the
+    # minimum member (the library's convention)
+    for cid in ids:
+        members = np.flatnonzero(comp == cid)
+        if cid not in members:
+            problems.append(f"component id {cid} is not one of its members")
+        elif members.min() != cid:
+            problems.append(
+                f"component {cid} contains smaller vertex {members.min()}"
+            )
+    return problems
+
+
+def validate_pagerank(
+    graph: CsrGraph,
+    ranks: np.ndarray,
+    damping: float = 0.85,
+    rtol: float = 1e-3,
+) -> List[str]:
+    """Check that ranks satisfy the PR fixpoint equation within rtol."""
+    problems: List[str] = []
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if np.any(ranks < (1.0 - damping) - 1e-9):
+        problems.append("rank below the (1-d) floor present")
+    deg = graph.out_degree().astype(np.float64)
+    src, dst = _edge_endpoints(graph)
+    push = np.zeros(graph.num_vertices)
+    nz = deg > 0
+    push[nz] = damping * ranks[nz] / deg[nz]
+    expected = np.full(graph.num_vertices, 1.0 - damping)
+    np.add.at(expected, dst, push[src])
+    resid = np.abs(expected - ranks) / np.maximum(ranks, 1e-12)
+    if resid.size and resid.max() > rtol:
+        k = int(np.argmax(resid))
+        problems.append(
+            f"vertex {k} violates the PR fixpoint by {resid.max():.3g} "
+            f"(got {ranks[k]:.6g}, expected {expected[k]:.6g})"
+        )
+    return problems
+
+
+def assert_valid(problems: List[str]) -> None:
+    """Raise ``AssertionError`` listing any violations."""
+    if problems:
+        raise AssertionError(
+            "result validation failed:\n  " + "\n  ".join(problems)
+        )

@@ -1,0 +1,44 @@
+"""Prior-system strategy models and serial reference oracles.
+
+``reference`` holds the validation oracles; the remaining modules model
+the strategies of the systems compared in Tables III and IV on the same
+virtual hardware constants as the framework.
+"""
+
+from .apu import apu_hybrid_bfs
+from .b40c_bfs import b40c_bfs
+from .common import BaselineMachine, BaselineResult
+from .enterprise import enterprise_dobfs
+from .frog import frog_color_graph, frog_run
+from .graphmap import graphmap_run
+from .graphreduce import graphreduce_run
+from .medusa import medusa_bfs
+from .reference import (
+    bc_reference,
+    bfs_reference,
+    cc_reference,
+    pagerank_reference,
+    sssp_reference,
+)
+from .totem import totem_run
+from .twod_bfs import twod_bfs
+
+__all__ = [
+    "BaselineResult",
+    "BaselineMachine",
+    "apu_hybrid_bfs",
+    "b40c_bfs",
+    "enterprise_dobfs",
+    "medusa_bfs",
+    "twod_bfs",
+    "graphreduce_run",
+    "graphmap_run",
+    "frog_run",
+    "frog_color_graph",
+    "totem_run",
+    "bfs_reference",
+    "sssp_reference",
+    "cc_reference",
+    "bc_reference",
+    "pagerank_reference",
+]

@@ -1,0 +1,96 @@
+"""Shared plumbing for baseline (prior-work) system models.
+
+Each baseline reimplements the *strategy* of a system the paper compares
+against (Tables III/IV) on the same virtual hardware: correct results
+computed in NumPy, virtual time charged through the identical
+:class:`~repro.sim.device.DeviceSpec` / link constants, so comparisons
+against our framework are strategy-vs-strategy on equal terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..graph.csr import CsrGraph
+from ..sim.device import DeviceSpec, K40
+from ..sim.interconnect import PCIE3_HOST, PCIE3_PEER, LinkSpec
+from ..sim.kernel import KernelModel
+from ..sim.machine import DEFAULT_SCALE
+
+__all__ = ["BaselineResult", "BaselineMachine"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline run."""
+
+    system: str
+    primitive: str
+    elapsed: float
+    iterations: int
+    result: Optional[np.ndarray] = None
+    scale: float = DEFAULT_SCALE
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def gteps(self, edges: int) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return edges * self.scale / self.elapsed / 1e9
+
+
+class BaselineMachine:
+    """Minimal cost-charging machine for baseline strategy models.
+
+    A thin alternative to the full stream engine: baselines accumulate
+    time on a scalar clock (they are simpler systems without Gunrock's
+    stream overlap — which is itself one of the paper's claimed
+    advantages, Section VII-C).
+    """
+
+    def __init__(
+        self,
+        num_gpus: int = 1,
+        spec: DeviceSpec = K40,
+        scale: float = DEFAULT_SCALE,
+        peer_link: LinkSpec = PCIE3_PEER,
+        host_link: LinkSpec = PCIE3_HOST,
+    ):
+        self.num_gpus = num_gpus
+        self.spec = spec
+        self.scale = scale
+        self.peer_link = peer_link
+        self.host_link = host_link
+        self.kernel_model = KernelModel(spec, scale)
+        self.elapsed = 0.0
+
+    def charge_kernel(self, **kwargs) -> float:
+        t = self.kernel_model.kernel_time(**kwargs).total
+        self.elapsed += t
+        return t
+
+    def charge_transfer(
+        self, nbytes: float, link: Optional[LinkSpec] = None, messages: int = 1
+    ) -> float:
+        lk = link or self.peer_link
+        t = messages * lk.latency + nbytes * self.scale / lk.bandwidth
+        self.elapsed += t
+        return t
+
+    def charge_seconds(self, seconds: float) -> float:
+        self.elapsed += seconds
+        return seconds
+
+
+def partition_vertices(
+    graph: CsrGraph, num_parts: int, seed: int = 0
+) -> np.ndarray:
+    """Balanced random vertex assignment (what most baselines use)."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    perm = rng.permutation(n)
+    out = np.empty(n, dtype=np.int32)
+    out[perm] = np.arange(n, dtype=np.int32) % num_parts
+    return out

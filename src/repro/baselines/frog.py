@@ -1,0 +1,123 @@
+"""Frog-style hybrid-coloring asynchronous engine (Shi et al., Table IV).
+
+Strategy modeled (Section II-A): Frog preprocesses the graph with a
+(relaxed) coloring into sets of independent vertices, then processes
+colors asynchronously — updates from earlier colors are visible to later
+colors within the same pass.  Two properties are charged:
+
+* **expensive preprocessing** (the coloring) — reported separately, as
+  the paper does;
+* "performance is restricted by visiting **all edges in each single
+  iteration**": every pass over the color sets touches the full edge
+  list, even when few vertices are active.
+
+Asynchrony does pay off in *pass count*: label-style algorithms converge
+in fewer passes than synchronous iterations, which the model reflects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.csr import CsrGraph
+from ..sim.device import DeviceSpec, K40
+from .common import BaselineMachine, BaselineResult
+from .reference import (
+    bfs_reference,
+    cc_reference,
+    pagerank_reference,
+    sssp_reference,
+)
+
+__all__ = ["frog_color_graph", "frog_run"]
+
+
+def frog_color_graph(graph: CsrGraph, max_colors: int = 64) -> np.ndarray:
+    """Greedy hybrid coloring: first-fit, overflow into a 'hybrid' color.
+
+    Frog caps the color count and dumps the remainder into one final
+    color processed with locks; we reproduce that shape.
+    """
+    n = graph.num_vertices
+    colors = np.full(n, -1, dtype=np.int32)
+    offsets = graph.row_offsets.astype(np.int64)
+    cols = graph.col_indices
+    order = np.argsort(-np.diff(offsets))  # high degree first
+    for v in order:
+        used = set(
+            int(c)
+            for c in colors[cols[offsets[v] : offsets[v + 1]]]
+            if c >= 0
+        )
+        c = 0
+        while c in used and c < max_colors - 1:
+            c += 1
+        colors[v] = c
+    return colors
+
+
+def frog_run(
+    graph: CsrGraph,
+    primitive: str,
+    source: int = 0,
+    spec: DeviceSpec = K40,
+    scale: float = 1024.0,
+    max_colors: int = 16,
+) -> BaselineResult:
+    """Run the Frog strategy model (1 GPU, color-asynchronous)."""
+    machine = BaselineMachine(1, spec, scale)
+    result: Optional[np.ndarray]
+    if primitive == "bfs":
+        levels, _ = bfs_reference(graph, source)
+        result = levels
+        sync_iters = int(levels.max()) + 1
+    elif primitive == "sssp":
+        result, _ = sssp_reference(graph, source)
+        levels, _ = bfs_reference(graph, source)
+        sync_iters = (int(levels.max()) + 1) * 3
+    elif primitive == "cc":
+        result = cc_reference(graph)
+        sync_iters = max(4, int(np.ceil(np.log2(max(graph.num_vertices, 2)))))
+    elif primitive == "pr":
+        result = pagerank_reference(graph)
+        sync_iters = 30
+    else:
+        raise ValueError(f"unsupported primitive {primitive!r}")
+
+    colors = frog_color_graph(graph, max_colors)
+    num_colors = int(colors.max()) + 1
+    # asynchrony roughly halves the pass count for label-propagation
+    # algorithms; PR keeps synchronous semantics, so no pass credit
+    if primitive == "pr":
+        passes = sync_iters
+    else:
+        passes = max(1, int(np.ceil(sync_iters / 2)))
+    ids_b = graph.ids.vertex_bytes
+    for _ in range(passes):
+        for _c in range(num_colors):
+            # every color step scans the whole edge array (the Frog cost);
+            # the hybrid-color scheme pays per-edge value reads plus lock
+            # traffic on the overflow color
+            machine.charge_kernel(
+                streaming_bytes=graph.num_edges * ids_b / num_colors
+                + graph.num_vertices * 4,
+                random_bytes=graph.num_edges * (ids_b + 8) * 2 / num_colors,
+                launches=2,
+                atomic_ops=graph.num_edges * 0.3 / num_colors,
+            )
+
+    preprocess_seconds = graph.num_edges * 200e-9  # serial greedy coloring
+    return BaselineResult(
+        system="frog",
+        primitive=primitive,
+        elapsed=machine.elapsed,
+        iterations=passes,
+        result=result,
+        scale=scale,
+        extra={
+            "colors": float(num_colors),
+            "preprocess_seconds": preprocess_seconds,
+        },
+    )

@@ -1,0 +1,113 @@
+"""Medusa-style n-hop replication engine (Zhong & He, Table III).
+
+Strategy modeled (Section II-A): the pioneering general mGPU graph
+library.  It partitions with Metis, **replicates every vertex within n
+hops of a partition boundary**, and refreshes the replicas' values every
+n iterations.  Costs charged:
+
+* fine-grained per-edge/per-vertex API kernels — more launches and no
+  advance+filter fusion;
+* replica refresh traffic: all replicated vertices' values move every n
+  iterations (far more than the active border — the memory/communication
+  scalability problem the paper notes);
+* it cannot express beyond-n-hop algorithms at all (the model raises for
+  them, mirroring the generality limitation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CsrGraph
+from ..partition.base import PartitionResult
+from ..partition.metis_like import MetisLikePartitioner
+from ..sim.device import DeviceSpec, K40
+from .common import BaselineMachine, BaselineResult
+from .reference import bfs_reference
+
+__all__ = ["medusa_bfs", "replicated_vertices"]
+
+
+def replicated_vertices(
+    graph: CsrGraph, part: PartitionResult, hops: int = 1
+) -> int:
+    """Total replicas across GPUs: vertices within ``hops`` of a border."""
+    pt = part.partition_table.astype(np.int64)
+    offsets = graph.row_offsets.astype(np.int64)
+    cols = graph.col_indices.astype(np.int64)
+    src = np.repeat(np.arange(graph.num_vertices, dtype=np.int64),
+                    np.diff(offsets))
+    total = 0
+    for g in range(part.num_gpus):
+        # frontier of replication: remote endpoints of GPU g's edges
+        mask = pt[src] == g
+        layer = np.unique(cols[mask][pt[cols[mask]] != g])
+        replicas = set(layer.tolist())
+        for _ in range(hops - 1):
+            if layer.size == 0:
+                break
+            nxt = []
+            for v in layer:
+                nxt.append(cols[offsets[v]:offsets[v + 1]])
+            layer = np.unique(np.concatenate(nxt)) if nxt else layer[:0]
+            layer = layer[[x not in replicas for x in layer.tolist()]]
+            replicas.update(layer.tolist())
+        total += len(replicas)
+    return total
+
+
+def medusa_bfs(
+    graph: CsrGraph,
+    source: int = 0,
+    num_gpus: int = 1,
+    spec: DeviceSpec = K40,
+    scale: float = 1024.0,
+    hops: int = 1,
+    seed: int = 0,
+) -> BaselineResult:
+    """Run the Medusa strategy model for BFS."""
+    machine = BaselineMachine(num_gpus, spec, scale)
+    levels, _ = bfs_reference(graph, source)
+    ids_b = graph.ids.vertex_bytes
+    deg = np.diff(graph.row_offsets.astype(np.int64))
+    max_level = int(levels.max())
+
+    part = MetisLikePartitioner(seed=seed).partition(graph, num_gpus)
+    n_replicas = replicated_vertices(graph, part, hops) if num_gpus > 1 else 0
+    # Metis preprocessing time is reported but not charged against
+    # traversal (the paper's Fig. 2 note: "takes a much longer time to
+    # partition"); expose it for inspection.
+    metis_cost = graph.num_edges * 60e-9  # ~60 ns/edge multilevel work
+
+    for depth in range(max_level + 1):
+        frontier = np.flatnonzero(levels == depth)
+        if frontier.size == 0:
+            break
+        frontier_edges = int(deg[frontier].sum())
+        per_gpu_e = frontier_edges / num_gpus
+        per_gpu_v = frontier.size / num_gpus
+        # EMV/EV/VV fine-grained API: separate kernels, heavy atomics
+        t = machine.kernel_model.kernel_time(
+            streaming_bytes=(per_gpu_v + per_gpu_e) * ids_b * 2,
+            random_bytes=per_gpu_e * (ids_b + 4) * 1.3,
+            launches=10,
+            atomic_ops=per_gpu_e * 1.2,
+        ).total
+        machine.charge_seconds(t)
+        if num_gpus > 1 and (depth % hops == hops - 1):
+            # replica refresh: every replicated vertex's value moves
+            machine.charge_transfer(
+                n_replicas * (ids_b + 4),
+                link=machine.peer_link,
+                messages=num_gpus * (num_gpus - 1),
+            )
+
+    return BaselineResult(
+        system="medusa",
+        primitive="bfs",
+        elapsed=machine.elapsed,
+        iterations=max_level + 1,
+        result=levels,
+        scale=scale,
+        extra={"replicas": float(n_replicas), "metis_seconds": metis_cost},
+    )

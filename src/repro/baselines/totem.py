@@ -1,0 +1,99 @@
+"""Totem-style hybrid CPU+GPU engine (Gharaibeh et al., Table IV).
+
+Strategy modeled (Section II-A): Totem statically splits the graph
+between CPU and GPU by a performance model (high-degree vertices to the
+GPU); each BSP superstep computes on both processors and exchanges
+boundary updates over PCIe.  The charged limitations:
+
+* the CPU partition computes at CPU memory bandwidth (~10x below GPU);
+* every superstep moves boundary data across PCIe ("repeatedly moving
+  data between CPUs and GPUs is costly");
+* only direct-neighbor algorithms are expressible (generality limit,
+  enforced).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.csr import CsrGraph
+from ..sim.device import DeviceSpec, K40
+from ..sim.interconnect import PCIE3_HOST
+from .common import BaselineMachine, BaselineResult
+from .reference import bfs_reference, pagerank_reference, sssp_reference
+
+__all__ = ["totem_run", "CPU_BANDWIDTH"]
+
+#: dual-socket Xeon effective random-access bandwidth (bytes/s)
+CPU_BANDWIDTH = 30e9
+
+
+def totem_run(
+    graph: CsrGraph,
+    primitive: str,
+    source: int = 0,
+    num_gpus: int = 2,
+    spec: DeviceSpec = K40,
+    scale: float = 1024.0,
+    gpu_fraction: float = 0.75,
+) -> BaselineResult:
+    """Run the Totem strategy model (``num_gpus`` GPUs + host CPUs).
+
+    ``gpu_fraction`` is the share of edges Totem's performance model
+    places on the GPUs (it favors them until memory runs out).
+    """
+    if primitive not in ("bfs", "sssp", "pr", "bc"):
+        raise ValueError(
+            f"Totem's neighbor-only model cannot express {primitive!r}"
+        )
+    machine = BaselineMachine(num_gpus, spec, scale)
+    result: Optional[np.ndarray]
+    if primitive == "bfs":
+        result, _ = bfs_reference(graph, source)
+        levels = result
+        iters = int(levels.max()) + 1
+    elif primitive == "sssp":
+        result, _ = sssp_reference(graph, source)
+        levels, _ = bfs_reference(graph, source)
+        iters = (int(levels.max()) + 1) * 3
+    elif primitive == "bc":
+        from .reference import bc_reference
+
+        result = bc_reference(graph, source=source)
+        levels, _ = bfs_reference(graph, source)
+        iters = 2 * (int(levels.max()) + 1)
+    else:
+        result = pagerank_reference(graph)
+        iters = 30
+
+    ids_b = graph.ids.vertex_bytes
+    edges_gpu = graph.num_edges * gpu_fraction / max(num_gpus, 1)
+    edges_cpu = graph.num_edges * (1.0 - gpu_fraction)
+    boundary = graph.num_vertices * 0.1  # boundary vertices exchanged
+
+    for _ in range(iters):
+        t_gpu = machine.kernel_model.kernel_time(
+            streaming_bytes=edges_gpu * ids_b,
+            random_bytes=edges_gpu * (ids_b + 8),
+            launches=3,
+        ).total
+        # the CPU side: same traffic at CPU bandwidth (scaled like GPUs)
+        cpu_bytes = edges_cpu * (2 * ids_b + 8) * scale
+        t_cpu = cpu_bytes / CPU_BANDWIDTH
+        machine.charge_seconds(max(t_gpu, t_cpu))  # BSP: slower side wins
+        machine.charge_transfer(
+            boundary * (ids_b + 8),
+            link=PCIE3_HOST,
+            messages=2 * num_gpus,
+        )
+
+    return BaselineResult(
+        system="totem",
+        primitive=primitive,
+        elapsed=machine.elapsed,
+        iterations=iters,
+        result=result,
+        scale=scale,
+    )

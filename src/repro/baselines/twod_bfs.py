@@ -1,0 +1,94 @@
+"""2-D partitioned BFS (Fu et al. / Bisson et al., Table III comparisons).
+
+Strategy modeled (Section II-A): the adjacency matrix is partitioned into
+a sqrt(n) x sqrt(n) (here: R x C) grid of blocks; each BFS step is an
+expand along block rows followed by an MPI-style **column contraction of
+the edge frontier**.  The communication unit is the *edge* frontier —
+"large edge frontiers transmitted between GPUs cause large communication
+overheads and limit scalability" — which is the key disadvantage vs. our
+vertex-border communication.  Bisson et al. additionally pay heavy global
+atomics, modeled by the ``atomic_heavy`` flag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CsrGraph
+from ..sim.device import DeviceSpec, K40
+from .common import BaselineMachine, BaselineResult
+from .reference import bfs_reference
+
+__all__ = ["twod_bfs"]
+
+
+def _grid_shape(num_gpus: int):
+    r = int(np.sqrt(num_gpus))
+    while num_gpus % r:
+        r -= 1
+    return r, num_gpus // r
+
+
+def twod_bfs(
+    graph: CsrGraph,
+    source: int = 0,
+    num_gpus: int = 4,
+    spec: DeviceSpec = K40,
+    scale: float = 1024.0,
+    atomic_heavy: bool = False,
+    inter_node_link=None,
+) -> BaselineResult:
+    """Run the 2-D partitioning strategy model.
+
+    ``inter_node_link`` models the *cluster* variants (Fu et al. across
+    nodes, Bisson/Bernaschi on Piz Daint-style machines): the contraction
+    and allgather exchanges then pay network bandwidth/latency instead of
+    intra-node PCIe.
+    """
+    machine = BaselineMachine(num_gpus, spec, scale)
+    if inter_node_link is not None:
+        machine.host_link = inter_node_link
+    levels, _ = bfs_reference(graph, source)
+    rows, cols_n = _grid_shape(num_gpus)
+    ids_b = graph.ids.vertex_bytes
+    offsets = graph.row_offsets.astype(np.int64)
+    deg = np.diff(offsets)
+    max_level = int(levels.max())
+
+    for depth in range(max_level + 1):
+        frontier = np.flatnonzero(levels == depth)
+        if frontier.size == 0:
+            break
+        frontier_edges = int(deg[frontier].sum())
+        # expand: each of the R*C blocks processes its slice of the edges
+        per_block_edges = frontier_edges / num_gpus
+        t_expand = machine.kernel_model.kernel_time(
+            streaming_bytes=per_block_edges * ids_b,
+            random_bytes=per_block_edges * (ids_b + 4),
+            launches=2,
+            atomic_ops=2.5 * per_block_edges if atomic_heavy else 0.0,
+        ).total
+        machine.charge_seconds(t_expand)
+        # contract: the EDGE frontier of each block column is exchanged
+        # down the column (cols_n - 1 hops worth of traffic per column)
+        edge_frontier_bytes = per_block_edges * ids_b
+        machine.charge_transfer(
+            edge_frontier_bytes * max(rows - 1, 1),
+            link=machine.host_link,  # MPI-style staging through the host
+            messages=max(rows - 1, 1),
+        )
+        # row allgather of the new vertex frontier
+        machine.charge_transfer(
+            (frontier.size / cols_n) * ids_b * max(cols_n - 1, 1),
+            link=machine.host_link,
+            messages=max(cols_n - 1, 1),
+        )
+
+    return BaselineResult(
+        system="bisson-2d" if atomic_heavy else "fu-2d",
+        primitive="bfs",
+        elapsed=machine.elapsed,
+        iterations=max_level + 1,
+        result=levels,
+        scale=scale,
+    )

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``datasets``
+    List the Table II dataset stand-ins with their statistics.
+``run``
+    Run a primitive on a dataset at a GPU count and print the metrics
+    (the quickest way to poke at the reproduction).
+``partition``
+    Compare the three partitioners' border/edge-cut statistics on a
+    dataset (the Fig. 2 / Section V-C inputs).
+``sweep``
+    Speedup sweep of one primitive over GPU counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.bsp import decompose
+from .analysis.gteps import traversal_gteps
+from .analysis.reporting import render_table
+from .graph import datasets
+from .graph.build import add_random_weights
+from .partition import border_stats, make_partitioner
+from .sim.device import K40, K80_HALF, P100
+from .sim.machine import Machine
+
+SPECS = {"k40": K40, "k80": K80_HALF, "p100": P100}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-GPU graph analytics (IPDPS 2017 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset stand-ins")
+
+    run = sub.add_parser("run", help="run one primitive")
+    run.add_argument("primitive",
+                     choices=["bfs", "dobfs", "sssp", "cc", "bc", "pr"])
+    run.add_argument("--dataset", default="soc-orkut")
+    run.add_argument("--gpus", type=int, default=4)
+    run.add_argument("--src", type=int, default=0)
+    run.add_argument("--gpu-model", choices=sorted(SPECS), default="k40")
+    run.add_argument("--partitioner", default="random",
+                     choices=["random", "biased-random", "metis"])
+    run.add_argument("--seed", type=int, default=0)
+
+    part = sub.add_parser("partition", help="compare partitioners")
+    part.add_argument("--dataset", default="soc-orkut")
+    part.add_argument("--gpus", type=int, default=4)
+    part.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep", help="GPU-count speedup sweep")
+    sweep.add_argument("primitive",
+                       choices=["bfs", "dobfs", "sssp", "cc", "bc", "pr"])
+    sweep.add_argument("--dataset", default="soc-orkut")
+    sweep.add_argument("--max-gpus", type=int, default=6)
+    sweep.add_argument("--src", type=int, default=0)
+    return p
+
+
+def _cmd_datasets(out) -> int:
+    rows = []
+    for name in datasets.names():
+        s = datasets.spec(name)
+        g = datasets.load(name)
+        rows.append(
+            [name, s.family, g.num_vertices, g.num_edges,
+             f"{s.paper_vertices:.3g}", f"{s.paper_edges:.3g}",
+             f"{datasets.machine_scale(name):.0f}"]
+        )
+    print(
+        render_table(
+            ["name", "family", "|V|", "|E|", "paper |V|", "paper |E|",
+             "scale"],
+            rows,
+            title="Dataset stand-ins (Table II + comparison graphs)",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _prepare(args):
+    graph = datasets.load(args.dataset)
+    if args.primitive == "sssp":
+        graph = add_random_weights(graph, 1, 64, seed=2)
+    scale = datasets.machine_scale(args.dataset)
+    return graph, scale
+
+
+def _run_once(args, graph, scale, num_gpus, out=None):
+    from .primitives import RUNNERS
+
+    spec = SPECS[getattr(args, "gpu_model", "k40")]
+    machine = Machine(num_gpus, spec=spec, scale=scale)
+    kwargs = {}
+    if getattr(args, "partitioner", "random") != "random":
+        kwargs["partitioner"] = make_partitioner(args.partitioner, args.seed)
+    runner = RUNNERS[args.primitive]
+    if args.primitive in ("bfs", "dobfs", "sssp", "bc"):
+        result, metrics, _ = runner(graph, machine, src=args.src, **kwargs)
+    else:
+        result, metrics, _ = runner(graph, machine, **kwargs)
+    return result, metrics
+
+
+def _cmd_run(args, out) -> int:
+    graph, scale = _prepare(args)
+    result, metrics = _run_once(args, graph, scale, args.gpus)
+    print(metrics.summary(), file=out)
+    terms = decompose(metrics).fractions()
+    print(
+        f"BSP: compute {terms['compute']:.0%}, "
+        f"communicate {terms['communicate']:.0%}, "
+        f"synchronize {terms['synchronize']:.0%}",
+        file=out,
+    )
+    if args.primitive in ("bfs", "dobfs"):
+        print(
+            f"traversal rate: "
+            f"{traversal_gteps(graph, result, metrics):.2f} GTEPS",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_partition(args, out) -> int:
+    graph = datasets.load(args.dataset)
+    rows = []
+    for name in ("random", "biased-random", "metis"):
+        pr = make_partitioner(name, args.seed).partition(graph, args.gpus)
+        st = border_stats(graph, pr)
+        rows.append(
+            [name, st.edge_cut, st.total_border, st.max_border,
+             f"{st.load_imbalance:.3f}"]
+        )
+    print(
+        render_table(
+            ["partitioner", "edge cut", "total border", "max border",
+             "imbalance"],
+            rows,
+            title=f"{args.dataset} split {args.gpus} ways",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_sweep(args, out) -> int:
+    graph, scale = _prepare(args)
+    rows = []
+    base = None
+    for n in range(1, args.max_gpus + 1):
+        _, metrics = _run_once(args, graph, scale, n)
+        if base is None:
+            base = metrics.elapsed
+        rows.append(
+            [n, f"{metrics.elapsed * 1e3:.3f}",
+             f"{base / metrics.elapsed:.2f}x", metrics.supersteps]
+        )
+    print(
+        render_table(
+            ["GPUs", "ms", "speedup", "S"],
+            rows,
+            title=f"{args.primitive} on {args.dataset}",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets(out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "partition":
+        return _cmd_partition(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The Gunrock-style multi-GPU framework core.
+
+Public surface: a primitive is a (:class:`ProblemBase`,
+:class:`IterationBase`) pair run by an :class:`Enactor` on a
+:class:`~repro.sim.machine.Machine` — the exact shape of the paper's
+Appendix A code example.
+"""
+
+from .comm import BROADCAST, SELECTIVE, Message
+from .direction import BACKWARD, FORWARD, DirectionState
+from .enactor import Enactor
+from .frontier import Frontier
+from .iteration import GpuContext, IterationBase
+from .problem import DataSlice, ProblemBase
+from .stats import OpStats
+
+__all__ = [
+    "ProblemBase",
+    "DataSlice",
+    "IterationBase",
+    "GpuContext",
+    "Enactor",
+    "Frontier",
+    "Message",
+    "OpStats",
+    "SELECTIVE",
+    "BROADCAST",
+    "DirectionState",
+    "FORWARD",
+    "BACKWARD",
+]

@@ -1,0 +1,348 @@
+"""The enactor: Gunrock's multi-GPU BSP execution engine.
+
+Runs the loop of Fig. 1: every iteration, each GPU
+
+1. **combines** messages received at the end of the previous iteration
+   with local data (the primitive's ``Expand_Incoming``) and merges the
+   accepted vertices into its input frontier;
+2. runs the **unmodified single-GPU core** (``FullQueue_Core``);
+3. **splits** the output frontier into local/remote parts (selective) or
+   prepares a broadcast, **packages** remote parts with the
+   programmer-specified associated values, and **pushes** them to peers
+   on the communication stream;
+4. synchronizes at the global **barrier** (with the measured multi-GPU
+   latency ``l(n)`` from Section V-B).
+
+Correctness work happens on real arrays; virtual time is charged through
+the device kernel model and the interconnect, per the BSP decomposition
+``W + H*g + S*l`` the paper analyzes.
+
+The constructor takes an allocation scheme (Fig. 3): it sizes frontier,
+intermediate, and communication buffers on each device's memory pool,
+grows them (charging reallocation time) when just-enough demands it, and
+reports peak memory in the run metrics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Type
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..sim.machine import Machine
+from ..sim.memory import AllocationScheme, PreallocFusion
+from ..sim.metrics import IterationRecord, RunMetrics
+from .comm import (
+    BROADCAST,
+    make_broadcast_messages,
+    make_selective_messages,
+    split_frontier,
+)
+from .frontier import Frontier
+from .iteration import GpuContext, IterationBase
+from .problem import ProblemBase
+from .stats import OpStats
+
+__all__ = ["Enactor"]
+
+
+class Enactor:
+    """Drives a problem + iteration pair to convergence on a machine.
+
+    Parameters
+    ----------
+    problem:
+        The primitive's partitioned state.
+    iteration_cls:
+        The primitive's :class:`IterationBase` subclass.
+    scheme:
+        Memory allocation scheme (default: the paper's choice for
+        traversal primitives, preallocation + kernel fusion).
+    comm_volume_scale:
+        Artificially inflate communicated bytes (Section V-A's H
+        sensitivity experiment).  Semantics are unaffected.
+    comm_latency_scale:
+        Artificially inflate per-message latency (Section V-A).
+    overlap_communication:
+        Overlap in-flight transfers with the next superstep's computation
+        (Gunrock's multi-stream + ``cudaStreamWaitEvent`` design,
+        Section III-B): the barrier waits only for compute streams, and
+        each receiver blocks on the specific arrival event of the data it
+        combines.  Results are unchanged; communication-bound primitives
+        (DOBFS) get faster.
+    """
+
+    def __init__(
+        self,
+        problem: ProblemBase,
+        iteration_cls: Type[IterationBase],
+        scheme: Optional[AllocationScheme] = None,
+        comm_volume_scale: float = 1.0,
+        comm_latency_scale: float = 1.0,
+        overlap_communication: bool = False,
+    ):
+        self.problem = problem
+        self.machine: Machine = problem.machine
+        self.iteration_cls = iteration_cls
+        self.scheme = scheme or PreallocFusion()
+        self.comm_volume_scale = comm_volume_scale
+        self.comm_latency_scale = comm_latency_scale
+        self.overlap_communication = overlap_communication
+
+        n = self.machine.num_gpus
+        self.frontiers_in: List[Frontier] = []
+        self.frontiers_out: List[Frontier] = []
+        self._intermediate_names: List[str] = []
+        prefix = getattr(problem, "alloc_prefix", problem.name)
+        for i in range(n):
+            sub = problem.subgraphs[i]
+            pool = self.machine.gpus[i].memory
+            vb = sub.csr.ids.vertex_bytes
+            cap = self.scheme.frontier_capacity(sub.num_vertices, sub.num_edges)
+            self.frontiers_in.append(Frontier(f"{prefix}.fin", pool, vb, cap))
+            self.frontiers_out.append(Frontier(f"{prefix}.fout", pool, vb, cap))
+            icap = (
+                self.scheme.intermediate_capacity(sub.num_vertices, sub.num_edges)
+                if getattr(problem, "uses_intermediate", True)
+                else 0
+            )
+            iname = f"{prefix}.intermediate"
+            if icap > 0:
+                pool.alloc(iname, icap * vb)
+                self._intermediate_names.append(iname)
+            else:
+                self._intermediate_names.append("")
+            # communication staging buffers (send + receive), O(frontier)
+            if n > 1:
+                assoc = (
+                    1
+                    + problem.NUM_VERTEX_ASSOCIATES
+                    + problem.NUM_VALUE_ASSOCIATES
+                )
+                pool.alloc(f"{prefix}.comm", 2 * cap * vb * assoc)
+
+    # ------------------------------------------------------------------
+    def _charge(
+        self,
+        gpu_index: int,
+        stats: Sequence[OpStats],
+        earliest_start: float = 0.0,
+    ) -> float:
+        """Charge operator stats on a GPU's compute stream; return seconds."""
+        gpu = self.machine.gpus[gpu_index]
+        km = self.machine.kernel_model
+        total = 0.0
+        for s in stats:
+            cost = km.kernel_time(
+                streaming_bytes=s.streaming_bytes,
+                random_bytes=s.random_bytes,
+                launches=s.launches,
+                atomic_ops=s.atomic_ops,
+            )
+            gpu.compute.launch(cost.total, earliest_start=earliest_start, label=s.name)
+            total += cost.total
+        return total
+
+    def _charge_frontier_growth(self, gpu_index: int, grown_items: int, item_bytes: int) -> float:
+        """Reallocation cost: cudaMalloc + copy (just-enough's price)."""
+        if grown_items <= 0:
+            return 0.0
+        km = self.machine.kernel_model
+        t = km.memcpy_time(grown_items * item_bytes) + 50e-6  # cudaMalloc sync
+        self.machine.gpus[gpu_index].compute.launch(t, label="realloc")
+        return t
+
+    def _ensure_intermediate(self, gpu_index: int, stats: Sequence[OpStats]) -> None:
+        """Size the unfused advance-output buffer (just-enough growth)."""
+        name = self._intermediate_names[gpu_index]
+        if not name:
+            return
+        needed = max(
+            (s.output_size for s in stats if s.name.startswith("advance")),
+            default=0,
+        )
+        pool = self.machine.gpus[gpu_index].memory
+        sub = self.problem.subgraphs[gpu_index]
+        vb = sub.csr.ids.vertex_bytes
+        current = pool.size_of(name) or 0
+        if needed * vb > current:
+            if not self.scheme.grows_on_demand:
+                # non-growing schemes keep just-enough as a guard
+                # (Section VI-B: "to prevent illegal memory access,
+                # although this only happens rarely")
+                pass
+            pool.realloc(name, int(needed * vb * 1.1), preserve=False)
+            self._charge_frontier_growth(gpu_index, needed, vb)
+
+    # ------------------------------------------------------------------
+    def enact(self, **reset_kwargs) -> RunMetrics:
+        """Run the primitive to convergence; returns the run's metrics."""
+        problem = self.problem
+        machine = self.machine
+        n = machine.num_gpus
+        iteration_obj = self.iteration_cls(problem)
+        init_frontiers = problem.reset(**reset_kwargs)
+        machine.reset()
+        for g in machine.gpus:
+            g.memory.reset_peak()
+
+        frontiers: List[np.ndarray] = [
+            np.asarray(f, dtype=np.int64) for f in init_frontiers
+        ]
+        inboxes: List[List[tuple]] = [[] for _ in range(n)]
+        metrics = RunMetrics(
+            num_gpus=n,
+            primitive=problem.name,
+            scale=machine.scale,
+        )
+        ids = problem.graph.ids
+
+        iteration = 0
+        while True:
+            if iteration > iteration_obj.max_iterations():
+                raise ConvergenceError(
+                    f"{problem.name} did not converge within "
+                    f"{iteration_obj.max_iterations()} iterations"
+                )
+            rec = IterationRecord(iteration)
+            iter_start = machine.clock.now
+            next_inboxes: List[List[tuple]] = [[] for _ in range(n)]
+
+            for i in range(n):
+                gpu = machine.gpus[i]
+                sub = problem.subgraphs[i]
+                ctx = GpuContext(
+                    gpu=gpu,
+                    sub=sub,
+                    slice=problem.data_slices[i],
+                    kernel_model=machine.kernel_model,
+                    fused=self.scheme.fused,
+                    iteration=iteration,
+                    num_gpus=n,
+                )
+                compute_seconds = 0.0
+                # per-iteration framework overhead (bookkeeping kernels,
+                # driver API calls) — the 1-GPU part of Section V-B's l
+                gpu.compute.launch(gpu.spec.iteration_overhead, label="framework")
+                compute_seconds += gpu.spec.iteration_overhead
+
+                # --- 1. combine incoming messages ----------------------
+                extra_parts: List[np.ndarray] = []
+                for arrival, msg in inboxes[i]:
+                    verts, stats = iteration_obj.expand_incoming(ctx, msg)
+                    compute_seconds += self._charge(i, stats, earliest_start=arrival)
+                    rec.comm_compute_items[i] = (
+                        rec.comm_compute_items.get(i, 0) + msg.num_items
+                    )
+                    if verts.size:
+                        extra_parts.append(np.asarray(verts, dtype=np.int64))
+                if extra_parts:
+                    frontier = np.concatenate([frontiers[i]] + extra_parts)
+                else:
+                    frontier = frontiers[i]
+                rec.frontier_size += int(frontier.size)
+                grown = self.frontiers_in[i].set(frontier)
+                compute_seconds += self._charge_frontier_growth(
+                    i, grown, self.frontiers_in[i].item_bytes
+                )
+
+                # --- 2. single-GPU core --------------------------------
+                out, core_stats = iteration_obj.full_queue_core(ctx, frontier)
+                out = np.asarray(out, dtype=np.int64)
+                compute_seconds += self._charge(i, core_stats)
+                self._ensure_intermediate(i, core_stats)
+                rec.edges_visited[i] = sum(s.edges_visited for s in core_stats)
+                rec.vertices_processed[i] = sum(
+                    s.vertices_processed for s in core_stats
+                )
+                grown = self.frontiers_out[i].set(out)
+                compute_seconds += self._charge_frontier_growth(
+                    i, grown, self.frontiers_out[i].item_bytes
+                )
+                rec.direction = iteration_obj.direction_of(i) or rec.direction
+
+                # --- 3. split / package / push -------------------------
+                comm_seconds = 0.0
+                if n > 1 and iteration_obj.communicates_this_iteration(iteration):
+                    va = list(iteration_obj.vertex_associate_arrays(ctx))
+                    la = list(iteration_obj.value_associate_arrays(ctx))
+                    if problem.communication == BROADCAST:
+                        msgs, pstats = make_broadcast_messages(
+                            sub, out, n, va, la, ids_bytes=ctx.ids_bytes
+                        )
+                        local_part = out
+                        compute_seconds += self._charge(i, [pstats])
+                    else:
+                        local_part, remote, sstats = split_frontier(
+                            sub, out, ids_bytes=ctx.ids_bytes
+                        )
+                        msgs, pstats = make_selective_messages(
+                            sub, remote, va, la, ids_bytes=ctx.ids_bytes
+                        )
+                        compute_seconds += self._charge(i, [sstats, pstats])
+                    send_ready = gpu.compute.record_event()
+                    # empty sub-frontiers send no payload; the
+                    # frontier-length handshake is part of the barrier's
+                    # synchronization latency, not a tracked message
+                    msgs = [m for m in msgs if m.num_items > 0]
+                    for msg in msgs:
+                        nbytes = int(
+                            msg.nbytes(ids) * self.comm_volume_scale
+                        )
+                        dur = machine.interconnect.transfer_time(
+                            i,
+                            msg.dst_gpu,
+                            nbytes,
+                            latency_scale=self.comm_latency_scale,
+                        )
+                        ev = gpu.comm.launch(
+                            dur,
+                            earliest_start=send_ready.timestamp,
+                            label=f"send->{msg.dst_gpu}",
+                        )
+                        comm_seconds += dur
+                        next_inboxes[msg.dst_gpu].append((ev.timestamp, msg))
+                        rec.items_sent[i] = (
+                            rec.items_sent.get(i, 0) + msg.num_items
+                        )
+                        rec.bytes_sent[i] = rec.bytes_sent.get(i, 0) + nbytes
+                    frontiers[i] = local_part
+                else:
+                    frontiers[i] = out
+
+                rec.compute_time[i] = compute_seconds
+                rec.comm_time[i] = comm_seconds
+
+            inboxes = next_inboxes
+            machine.barrier(compute_only=self.overlap_communication)
+            rec.duration = machine.clock.now - iter_start
+            metrics.iterations.append(rec)
+            iteration_obj.on_iteration_end(iteration)
+
+            in_flight = sum(len(box) for box in inboxes)
+            if iteration_obj.should_stop(
+                iteration, [f.size for f in frontiers], in_flight
+            ):
+                break
+            iteration += 1
+
+        metrics.elapsed = machine.clock.now
+        for i in range(n):
+            metrics.peak_memory[i] = machine.gpus[i].memory.peak
+            metrics.num_reallocs += machine.gpus[i].memory.num_reallocs
+        return metrics
+
+    def release(self) -> None:
+        """Free the enactor's device buffers (frontiers, comm staging)."""
+        n = self.machine.num_gpus
+        for i in range(n):
+            pool = self.machine.gpus[i].memory
+            self.frontiers_in[i].release()
+            self.frontiers_out[i].release()
+            name = self._intermediate_names[i]
+            if name and pool.size_of(name) is not None:
+                pool.free(name)
+            cname = f"{getattr(self.problem, 'alloc_prefix', self.problem.name)}.comm"
+            if pool.size_of(cname) is not None:
+                pool.free(cname)

@@ -1,0 +1,170 @@
+"""Advance operator: visit the neighbors of a frontier.
+
+Gunrock's advance "generates a new frontier by visiting the neighbors of
+the current frontier" (Section II-B).  Two parallelization modes matter to
+the paper:
+
+* :func:`advance_push` — the classic per-*edge* parallel advance: every
+  neighbor of every frontier vertex is produced.  W = O(edges gathered).
+* :func:`advance_pull` — the per-*vertex* mode added in Section VI-A for
+  direction-optimizing traversal: each candidate vertex scans its
+  neighbor list *serially* and stops at the first neighbor found in the
+  frontier ("edge skipping").  W = O(edges actually scanned), which can be
+  far below the candidate vertices' total degree.
+
+Both return real arrays (correctness) plus an :class:`OpStats`
+(cost-model input).  All segment processing is vectorized; the pull-mode
+first-hit search uses ``np.minimum.reduceat`` over masked positions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ...graph.csr import CsrGraph
+from ..stats import OpStats
+
+__all__ = ["gather_neighbors", "advance_push", "advance_pull"]
+
+_BIG = np.iinfo(np.int64).max
+
+
+def gather_neighbors(
+    csr: CsrGraph, frontier: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather all out-neighbors of ``frontier``.
+
+    Returns ``(neighbors, sources, edge_indices)``, each of length equal
+    to the total degree of the frontier.  ``sources[k]`` is the frontier
+    vertex whose edge produced ``neighbors[k]`` and ``edge_indices[k]`` is
+    that edge's position in ``csr.col_indices`` (for weight lookup).
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    offsets = csr.row_offsets.astype(np.int64)
+    starts = offsets[frontier]
+    counts = offsets[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    # flattened edge indices: repeat(start - exclusive_prefix) + arange
+    edge_idx = np.repeat(starts + counts - np.cumsum(counts), counts) + np.arange(
+        total, dtype=np.int64
+    )
+    neighbors = csr.col_indices[edge_idx].astype(np.int64)
+    sources = np.repeat(frontier, counts)
+    return neighbors, sources, edge_idx
+
+
+def advance_push(
+    csr: CsrGraph,
+    frontier: np.ndarray,
+    ids_bytes: int = 4,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, OpStats]:
+    """Per-edge parallel advance (the standard forward traversal).
+
+    Returns ``(neighbors, sources, edge_indices, stats)``.
+
+    Traffic model: frontier read + output write are streaming; offset
+    lookups and neighbor-list gathers are random.  Per traversed edge the
+    kernel moves one column index (``VertexT``) plus load-balancing /
+    edge-offset data at ``SizeT`` width — the term that makes 64-bit edge
+    IDs slower (Table V: "reads 2x data per edge").
+    """
+    neighbors, sources, edge_idx = gather_neighbors(csr, frontier)
+    edges = int(neighbors.size)
+    nf = int(np.asarray(frontier).size)
+    size_bytes = csr.ids.size_bytes
+    stats = OpStats(
+        name="advance",
+        input_size=nf,
+        output_size=edges,
+        edges_visited=edges,
+        vertices_processed=nf,
+        launches=1,
+        streaming_bytes=(nf + edges) * ids_bytes,
+        random_bytes=2 * nf * size_bytes
+        + edges * (ids_bytes + 0.75 * size_bytes),
+    )
+    return neighbors, sources, edge_idx, stats
+
+
+def advance_pull(
+    csr: CsrGraph,
+    candidates: np.ndarray,
+    in_frontier: np.ndarray,
+    ids_bytes: int = 4,
+) -> Tuple[np.ndarray, np.ndarray, OpStats]:
+    """Per-vertex pull advance with edge skipping (Section VI-A).
+
+    Parameters
+    ----------
+    csr:
+        The graph; for the paper's undirected datasets the out-adjacency
+        doubles as the in-adjacency, which is what backward traversal
+        scans.
+    candidates:
+        Vertices looking for a parent (the unvisited set).
+    in_frontier:
+        Boolean mask over vertices: membership in the current frontier.
+
+    Returns
+    -------
+    discovered, parents, stats:
+        ``discovered`` are the candidates that found a parent in the
+        frontier; ``parents[k]`` is the first such neighbor (serial-scan
+        order, deterministic).  ``stats.edges_visited`` counts only edges
+        actually *scanned* — a candidate stops at its first hit, which is
+        the entire point of direction-optimization.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    offsets = csr.row_offsets.astype(np.int64)
+    starts = offsets[candidates]
+    counts = offsets[candidates + 1] - starts
+    nonzero = counts > 0
+    cand = candidates[nonzero]
+    starts_nz = starts[nonzero]
+    counts_nz = counts[nonzero]
+    total = int(counts_nz.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        stats = OpStats(
+            name="advance-pull",
+            input_size=int(candidates.size),
+            vertices_processed=int(candidates.size),
+            launches=1,
+            streaming_bytes=candidates.size * ids_bytes,
+            random_bytes=2 * candidates.size * ids_bytes,
+        )
+        return empty, empty.copy(), stats
+
+    seg_starts = np.concatenate([[0], np.cumsum(counts_nz)[:-1]])
+    edge_idx = np.repeat(starts_nz - seg_starts, counts_nz) + np.arange(
+        total, dtype=np.int64
+    )
+    neighbors = csr.col_indices[edge_idx].astype(np.int64)
+    hit = in_frontier[neighbors]
+    # position of each slot within its segment; masked to BIG where no hit
+    pos = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, counts_nz)
+    masked = np.where(hit, pos, _BIG)
+    first_hit = np.minimum.reduceat(masked, seg_starts)
+    found = first_hit != _BIG
+    discovered = cand[found]
+    parents = neighbors[seg_starts[found] + first_hit[found]]
+    # edges scanned: first_hit+1 where found, full degree otherwise
+    scanned = np.where(found, first_hit + 1, counts_nz)
+    edges_scanned = int(scanned.sum())
+    stats = OpStats(
+        name="advance-pull",
+        input_size=int(candidates.size),
+        output_size=int(discovered.size),
+        edges_visited=edges_scanned,
+        vertices_processed=int(candidates.size),
+        launches=1,
+        streaming_bytes=(candidates.size + discovered.size) * ids_bytes,
+        random_bytes=2 * candidates.size * csr.ids.size_bytes
+        + edges_scanned * (ids_bytes + 0.75 * csr.ids.size_bytes + 1),
+    )
+    return discovered, parents, stats

@@ -1,0 +1,71 @@
+"""Compute operator: apply an elementwise operation to a frontier.
+
+"Computation executes an operation on all elements in the current
+frontier.  This can be combined for efficiency with advance or filter."
+(Section II-B.)  Primitives pass vectorized callables; the stats charge
+one read-modify-write per element.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..stats import OpStats
+
+__all__ = ["compute_op", "segment_reduce_min", "segment_reduce_sum"]
+
+
+def compute_op(
+    frontier: np.ndarray,
+    fn: Callable[[np.ndarray], None],
+    bytes_per_element: int = 12,
+    name: str = "compute",
+    atomic: bool = False,
+) -> Tuple[np.ndarray, OpStats]:
+    """Run ``fn`` over the frontier (in-place side effects expected).
+
+    Returns the (unchanged) frontier and the op stats.  ``atomic=True``
+    charges one atomic per element (e.g. PR's rank accumulation).
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    fn(frontier)
+    stats = OpStats(
+        name=name,
+        input_size=int(frontier.size),
+        output_size=int(frontier.size),
+        vertices_processed=int(frontier.size),
+        launches=0,  # fused into the surrounding advance/filter
+        random_bytes=frontier.size * bytes_per_element,
+        atomic_ops=float(frontier.size) if atomic else 0.0,
+    )
+    return frontier, stats
+
+
+def segment_reduce_min(
+    keys: np.ndarray, values: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """``out[k] = min(out[k], min of values with key k)`` — vectorized.
+
+    This is the deterministic equivalent of the GPU's ``atomicMin`` loop
+    in the paper's ``Expand_Incoming_Kernel`` (Appendix A): when one GPU
+    receives updates for the same vertex from several peers, the combiner
+    keeps the minimum.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return out
+    np.minimum.at(out, keys, values)
+    return out
+
+
+def segment_reduce_sum(
+    keys: np.ndarray, values: np.ndarray, out: np.ndarray
+) -> np.ndarray:
+    """``out[k] += sum of values with key k`` — PR's atomicAdd combiner."""
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return out
+    np.add.at(out, keys, values)
+    return out

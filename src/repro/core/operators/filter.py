@@ -1,0 +1,94 @@
+"""Filter operator: compact a frontier by a predicate.
+
+"Filter generates a new frontier by selecting a subset of the current
+frontier based on programmer-specified criteria" (Section II-B).  The
+common traversal filter — keep each vertex once, and only if unvisited —
+is provided as a specialized fast path because its cost model (one label
+probe per candidate, atomic claim per survivor) is what BFS/SSSP charge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..stats import OpStats
+
+__all__ = ["filter_predicate", "filter_unvisited", "unique_vertices"]
+
+
+def filter_predicate(
+    frontier: np.ndarray,
+    predicate: Callable[[np.ndarray], np.ndarray],
+    ids_bytes: int = 4,
+    name: str = "filter",
+) -> Tuple[np.ndarray, OpStats]:
+    """Generic filter: keep elements where ``predicate`` is True.
+
+    ``predicate`` receives the whole array and must return a boolean mask
+    (vectorized, like every framework compute op).
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    mask = np.asarray(predicate(frontier), dtype=bool)
+    if mask.shape != frontier.shape:
+        raise ValueError("predicate must return a mask of the input shape")
+    out = frontier[mask]
+    stats = OpStats(
+        name=name,
+        input_size=int(frontier.size),
+        output_size=int(out.size),
+        vertices_processed=int(frontier.size),
+        launches=1,
+        streaming_bytes=(frontier.size + out.size) * ids_bytes,
+        random_bytes=frontier.size * ids_bytes,
+    )
+    return out, stats
+
+
+def filter_unvisited(
+    candidates: np.ndarray,
+    labels: np.ndarray,
+    invalid_label,
+    ids_bytes: int = 4,
+) -> Tuple[np.ndarray, OpStats]:
+    """Traversal filter: deduplicate and keep vertices with no label yet.
+
+    Mirrors the GPU idiom: probe the label array, attempt an atomic claim,
+    survivors enter the new frontier exactly once.  Deterministic here:
+    ``np.unique`` plays the role the atomic CAS race plays on hardware.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if candidates.size:
+        unvisited = candidates[labels[candidates] == invalid_label]
+        out = np.unique(unvisited)
+    else:
+        out = candidates
+    stats = OpStats(
+        name="filter",
+        input_size=int(candidates.size),
+        output_size=int(out.size),
+        vertices_processed=int(candidates.size),
+        launches=1,
+        streaming_bytes=(candidates.size + out.size) * ids_bytes,
+        random_bytes=candidates.size * ids_bytes,
+        atomic_ops=float(out.size),
+    )
+    return out, stats
+
+
+def unique_vertices(
+    candidates: np.ndarray, ids_bytes: int = 4
+) -> Tuple[np.ndarray, OpStats]:
+    """Deduplicate a vertex list (the paper's split/merge helper)."""
+    candidates = np.asarray(candidates, dtype=np.int64)
+    out = np.unique(candidates)
+    stats = OpStats(
+        name="unique",
+        input_size=int(candidates.size),
+        output_size=int(out.size),
+        vertices_processed=int(candidates.size),
+        launches=1,
+        streaming_bytes=2 * candidates.size * ids_bytes,
+    )
+    return out, stats

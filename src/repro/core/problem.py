@@ -1,0 +1,205 @@
+"""Problem base: per-GPU data slices (the paper's ``ProblemBase``).
+
+A Problem owns everything that persists across traversals: the partitioned
+subgraphs, the per-GPU ``DataSlice`` arrays, and their device-memory
+accounting.  Programmers subclass it and specify (Section III-B):
+
+* ``NUM_VERTEX_ASSOCIATES`` / ``NUM_VALUE_ASSOCIATES`` — how many
+  per-vertex IDs/values accompany each communicated vertex;
+* ``duplication`` — duplicate-all or duplicate-1-hop (Section III-C);
+* ``communication`` — selective or broadcast;
+* :meth:`init_data_slice` — allocate the primitive's per-vertex arrays;
+* :meth:`reset` — prepare a new run and return the initial frontiers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.csr import CsrGraph
+from ..partition.base import Partitioner
+from ..partition.duplication import DUPLICATE_ALL, SubGraph, build_subgraphs
+from ..partition.random_part import RandomPartitioner
+from ..sim.machine import Machine
+from .comm import SELECTIVE
+
+__all__ = ["DataSlice", "ProblemBase"]
+
+
+class DataSlice:
+    """Per-GPU named arrays, registered with the device memory pool."""
+
+    def __init__(self, gpu_id: int, pool, prefix: str = "slice") -> None:
+        self.gpu_id = gpu_id
+        self.pool = pool
+        self.prefix = prefix
+        self.arrays: Dict[str, np.ndarray] = {}
+
+    def allocate(self, name: str, shape, dtype, fill: Any = None) -> np.ndarray:
+        """Allocate a named device array (charged to the pool)."""
+        arr = np.empty(shape, dtype=dtype)
+        if fill is not None:
+            arr.fill(fill)
+        self.arrays[name] = arr
+        if self.pool is not None:
+            self.pool.alloc(f"{self.prefix}.{name}", arr.nbytes)
+        return arr
+
+    def release(self) -> None:
+        """Free every array registered with the pool."""
+        if self.pool is not None:
+            for name in self.arrays:
+                if self.pool.size_of(f"{self.prefix}.{name}") is not None:
+                    self.pool.free(f"{self.prefix}.{name}")
+        self.arrays.clear()
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def __setitem__(self, name: str, value: np.ndarray) -> None:
+        if name not in self.arrays:
+            raise KeyError(
+                f"array {name!r} was never allocated on GPU {self.gpu_id}"
+            )
+        self.arrays[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.arrays
+
+
+class ProblemBase:
+    """Partition the graph and hold per-GPU state for one primitive.
+
+    Parameters
+    ----------
+    graph:
+        The full input graph.
+    machine:
+        The virtual node to run on; its GPU count is the partition count.
+    partitioner:
+        Vertex-assignment strategy (paper default: random, Section V-C).
+    duplication / communication:
+        Override the primitive's class-level strategy choices.
+    charge_memory:
+        When False, skip device-memory accounting (used by analysis code
+        that replays partitions without simulating a device).
+    """
+
+    name: str = "problem"
+    NUM_VERTEX_ASSOCIATES: int = 0
+    NUM_VALUE_ASSOCIATES: int = 0
+    duplication: str = DUPLICATE_ALL
+    communication: str = SELECTIVE
+    #: whether the primitive materializes an advance-output (intermediate)
+    #: frontier; in-place primitives (PR's accumulate, CC's hook+jump)
+    #: never need the O(|E|) buffer regardless of the allocation scheme
+    uses_intermediate: bool = True
+
+    def __init__(
+        self,
+        graph: CsrGraph,
+        machine: Machine,
+        partitioner: Optional[Partitioner] = None,
+        duplication: Optional[str] = None,
+        communication: Optional[str] = None,
+        charge_memory: bool = True,
+    ):
+        self.graph = graph
+        self.machine = machine
+        self.num_gpus = machine.num_gpus
+        if duplication is not None:
+            self.duplication = duplication
+        if communication is not None:
+            self.communication = communication
+        # Broadcast sends one message to every peer, so the vertex IDs in
+        # it must mean the same thing on every receiver — only
+        # duplicate-all's global numbering guarantees that.  With
+        # duplicate-1-hop each GPU has its own renumbering and a broadcast
+        # would be silently misinterpreted (Section III-C pairs the
+        # strategies for exactly this reason).
+        from ..partition.duplication import DUPLICATE_1HOP
+        from .comm import BROADCAST
+
+        if (
+            self.communication == BROADCAST
+            and self.duplication == DUPLICATE_1HOP
+        ):
+            raise PartitionError(
+                "broadcast communication requires duplicate-all: "
+                "duplicate-1-hop renumbers vertices per GPU, so a single "
+                "broadcast payload cannot be valid on every receiver"
+            )
+        partitioner = partitioner or RandomPartitioner()
+        self.partition = partitioner.partition(graph, self.num_gpus)
+        self.subgraphs: List[SubGraph] = build_subgraphs(
+            graph, self.partition, self.duplication
+        )
+        # unique allocation prefix so several problems can share a machine
+        seq = getattr(machine, "_problem_seq", 0)
+        machine._problem_seq = seq + 1
+        self.alloc_prefix = f"{self.name}#{seq}"
+        self.data_slices: List[DataSlice] = []
+        for gpu in range(self.num_gpus):
+            pool = machine.gpus[gpu].memory if charge_memory else None
+            if pool is not None:
+                pool.alloc(
+                    f"{self.alloc_prefix}.subgraph",
+                    self.subgraphs[gpu].memory_bytes(),
+                )
+            ds = DataSlice(gpu, pool, prefix=self.alloc_prefix)
+            self.init_data_slice(ds, self.subgraphs[gpu])
+            self.data_slices.append(ds)
+
+    # -- programmer-specified hooks ---------------------------------------
+    def init_data_slice(self, ds: DataSlice, sub: SubGraph) -> None:
+        """Allocate the primitive's per-vertex arrays; override me."""
+
+    def reset(self, **kwargs) -> List[np.ndarray]:
+        """Prepare for a new run; return the initial frontier per GPU.
+
+        Frontier vertices are in each GPU's local numbering.
+        """
+        raise NotImplementedError
+
+    # -- framework helpers --------------------------------------------------
+    def locate(self, global_vertex: int) -> tuple:
+        """(host GPU, local ID) of a global vertex — how ``Reset`` places
+        the source vertex (paper Appendix A: ``partition_tables`` then
+        ``conversion_tables``)."""
+        gpu = int(self.partition.partition_table[global_vertex])
+        if self.duplication == DUPLICATE_ALL:
+            return gpu, int(global_vertex)
+        return gpu, int(self.partition.conversion_table[global_vertex])
+
+    def extract(self, name: str, dtype=None) -> np.ndarray:
+        """Gather a per-vertex result array back to global numbering.
+
+        Each vertex's value is taken from its *hosting* GPU's slice (proxy
+        copies are ignored), undoing the renumbering the partitioner did.
+        """
+        first = self.data_slices[0][name]
+        out = np.empty(self.graph.num_vertices, dtype=dtype or first.dtype)
+        for gpu in range(self.num_gpus):
+            sub = self.subgraphs[gpu]
+            arr = self.data_slices[gpu][name]
+            hosted_local = np.flatnonzero(sub.host_of_local == gpu)
+            hosted_global = sub.local_to_global[hosted_local]
+            out[hosted_global] = arr[hosted_local]
+        return out
+
+    def slice_vertex_count(self, gpu: int) -> int:
+        """|V_i| — the size per-vertex slice arrays must have."""
+        return self.subgraphs[gpu].num_vertices
+
+    def release(self) -> None:
+        """Free all device memory held by this problem."""
+        for gpu, ds in enumerate(self.data_slices):
+            pool = ds.pool
+            ds.release()
+            if pool is not None and pool.size_of(
+                f"{self.alloc_prefix}.subgraph"
+            ) is not None:
+                pool.free(f"{self.alloc_prefix}.subgraph")

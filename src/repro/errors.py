@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch framework errors without catching programming errors (``TypeError``
+etc. are still raised for API misuse at the boundary).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "PartitionError",
+    "DeviceMemoryError",
+    "SimulationError",
+    "ConvergenceError",
+    "CommunicationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class GraphFormatError(ReproError):
+    """Malformed graph input (bad CSR offsets, out-of-range vertex IDs...)."""
+
+
+class PartitionError(ReproError):
+    """Invalid partition (wrong table sizes, empty required partition...)."""
+
+
+class DeviceMemoryError(ReproError):
+    """A virtual GPU ran out of memory.
+
+    Raised by :class:`repro.sim.memory.MemoryPool` when an allocation would
+    exceed device capacity.  This is the simulated analogue of
+    ``cudaErrorMemoryAllocation`` and is what the just-enough allocation
+    scheme (paper Section VI-B) exists to avoid.
+    """
+
+
+class SimulationError(ReproError):
+    """Inconsistent simulator state (negative time, bad stream deps...)."""
+
+
+class ConvergenceError(ReproError):
+    """A primitive failed to converge within its iteration budget."""
+
+
+class CommunicationError(ReproError):
+    """Malformed inter-GPU message (size mismatch, unknown peer...)."""

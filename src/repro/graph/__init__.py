@@ -1,0 +1,29 @@
+"""Graph substrate: containers, builders, generators, datasets, properties."""
+
+from .binformat import load_npz, save_npz
+from .build import add_random_weights, build_csr, from_edges, line_graph_path
+from .coo import CooGraph
+from .csr import CsrGraph
+from .properties import (
+    DegreeStats,
+    approximate_diameter,
+    bfs_levels,
+    degree_stats,
+    largest_component_fraction,
+)
+
+__all__ = [
+    "CooGraph",
+    "CsrGraph",
+    "build_csr",
+    "from_edges",
+    "add_random_weights",
+    "line_graph_path",
+    "save_npz",
+    "load_npz",
+    "bfs_levels",
+    "approximate_diameter",
+    "largest_component_fraction",
+    "degree_stats",
+    "DegreeStats",
+]

@@ -1,0 +1,106 @@
+"""High-level graph construction pipeline.
+
+Mirrors the paper's dataset preparation (Section VII-A): graphs are
+converted to undirected form unless otherwise specified; self-loops and
+duplicated edges are removed; SSSP edge values are random integers in
+``[0, 64)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import ID32, IdConfig
+from .coo import CooGraph
+from .csr import CsrGraph
+
+__all__ = ["build_csr", "from_edges", "add_random_weights", "line_graph_path"]
+
+
+def build_csr(
+    coo: CooGraph,
+    undirected: bool = True,
+    remove_self_loops: bool = True,
+    remove_duplicates: bool = True,
+) -> CsrGraph:
+    """Clean an edge list per the paper's recipe and produce a CSR graph.
+
+    Parameters
+    ----------
+    coo:
+        Raw edge list.
+    undirected:
+        Symmetrize the graph ("all graphs we use are converted to
+        undirected", Section VII-A).  Implies duplicate removal.
+    remove_self_loops, remove_duplicates:
+        Cleanup passes, both applied by default.
+    """
+    g = coo
+    if remove_self_loops:
+        g = g.remove_self_loops()
+    if undirected:
+        g = g.to_undirected()  # includes dedup
+    elif remove_duplicates:
+        g = g.remove_duplicates()
+    return CsrGraph.from_coo(g)
+
+
+def from_edges(
+    num_vertices: int,
+    edges,
+    ids: IdConfig = ID32,
+    undirected: bool = True,
+    values=None,
+) -> CsrGraph:
+    """Convenience builder from a Python iterable of (u, v) pairs."""
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("edges must be an iterable of (u, v) pairs")
+    coo = CooGraph(
+        num_vertices,
+        arr[:, 0],
+        arr[:, 1],
+        values=None if values is None else np.asarray(values),
+        ids=ids,
+    )
+    return build_csr(coo, undirected=undirected)
+
+
+def add_random_weights(
+    graph: CsrGraph, low: int = 0, high: int = 64, seed: int = 0
+) -> CsrGraph:
+    """Attach random integer edge weights in ``[low, high)``.
+
+    The paper uses random integers from [0, 64] for SSSP edge values.  Note:
+    for an undirected graph the two directions of an edge get independent
+    weights, which is also what the GPU frameworks being reproduced do when
+    weights are generated post-symmetrization.
+    """
+    rng = np.random.default_rng(seed)
+    w = rng.integers(low, high, size=graph.num_edges).astype(
+        graph.ids.value_dtype
+    )
+    return CsrGraph(
+        graph.num_vertices,
+        graph.row_offsets.copy(),
+        graph.col_indices.copy(),
+        w,
+        ids=graph.ids,
+        directed=graph.directed,
+    )
+
+
+def line_graph_path(num_vertices: int, ids: IdConfig = ID32) -> CsrGraph:
+    """A simple path 0-1-2-...-(n-1).
+
+    This is the workload of the paper's synchronization-latency experiment
+    (Section V-B): each BFS iteration visits exactly 1 vertex and 1 edge, so
+    runtime measures per-iteration overhead ``l``.
+    """
+    if num_vertices < 2:
+        return from_edges(num_vertices, [], ids=ids)
+    u = np.arange(num_vertices - 1)
+    edges = np.stack([u, u + 1], axis=1)
+    return from_edges(num_vertices, edges, ids=ids, undirected=True)

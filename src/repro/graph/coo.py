@@ -1,0 +1,165 @@
+"""Edge-list (COO) graph container and cleanup passes.
+
+The paper's dataset preparation (Section VII-A) converts all graphs to
+undirected form and removes self-loops and duplicate edges before
+partitioning.  :class:`CooGraph` holds the raw edge list and implements those
+passes as vectorized NumPy operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..types import ID32, IdConfig
+
+__all__ = ["CooGraph"]
+
+
+@dataclass
+class CooGraph:
+    """A graph as parallel source/destination (and optional value) arrays.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; all IDs must lie in ``[0, num_vertices)``.
+    src, dst:
+        Edge endpoint arrays, same length.
+    values:
+        Optional per-edge values (e.g. SSSP weights), same length as ``src``.
+    ids:
+        The :class:`~repro.types.IdConfig` controlling dtypes.
+    directed:
+        Whether the edge list represents a directed graph.  Undirected graphs
+        store both (u, v) and (v, u) after :meth:`to_undirected`.
+    """
+
+    num_vertices: int
+    src: np.ndarray
+    dst: np.ndarray
+    values: Optional[np.ndarray] = None
+    ids: IdConfig = field(default=ID32)
+    directed: bool = True
+
+    def __post_init__(self) -> None:
+        self.src = np.asarray(self.src, dtype=self.ids.vertex_dtype)
+        self.dst = np.asarray(self.dst, dtype=self.ids.vertex_dtype)
+        if self.src.ndim != 1 or self.dst.ndim != 1:
+            raise GraphFormatError("src/dst must be 1-D arrays")
+        if self.src.shape != self.dst.shape:
+            raise GraphFormatError(
+                f"src and dst lengths differ: {self.src.size} vs {self.dst.size}"
+            )
+        if self.values is not None:
+            self.values = np.asarray(self.values, dtype=self.ids.value_dtype)
+            if self.values.shape != self.src.shape:
+                raise GraphFormatError("values length must match edge count")
+        if self.num_vertices < 0:
+            raise GraphFormatError("num_vertices must be non-negative")
+        if self.src.size:
+            lo = min(int(self.src.min()), int(self.dst.min()))
+            hi = max(int(self.src.max()), int(self.dst.max()))
+            if lo < 0 or hi >= self.num_vertices:
+                raise GraphFormatError(
+                    f"edge endpoint out of range [0, {self.num_vertices}): "
+                    f"saw [{lo}, {hi}]"
+                )
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored edges (each direction counts once)."""
+        return int(self.src.size)
+
+    def remove_self_loops(self) -> "CooGraph":
+        """Return a copy with all (v, v) edges dropped."""
+        keep = self.src != self.dst
+        return CooGraph(
+            self.num_vertices,
+            self.src[keep],
+            self.dst[keep],
+            None if self.values is None else self.values[keep],
+            ids=self.ids,
+            directed=self.directed,
+        )
+
+    def remove_duplicates(self) -> "CooGraph":
+        """Return a copy with duplicate (src, dst) pairs removed.
+
+        The first occurrence's value is kept, matching the paper's dataset
+        cleanup (duplicated edges are removed, Section VII-A).
+        """
+        order = np.lexsort((self.dst, self.src))
+        s, d = self.src[order], self.dst[order]
+        if s.size == 0:
+            return self.copy()
+        first = np.ones(s.size, dtype=bool)
+        first[1:] = (s[1:] != s[:-1]) | (d[1:] != d[:-1])
+        keep = order[first]
+        keep.sort()  # preserve original relative order of survivors
+        return CooGraph(
+            self.num_vertices,
+            self.src[keep],
+            self.dst[keep],
+            None if self.values is None else self.values[keep],
+            ids=self.ids,
+            directed=self.directed,
+        )
+
+    def to_undirected(self) -> "CooGraph":
+        """Symmetrize: add the reverse of every edge, then dedup.
+
+        Self-loops are removed first so that symmetrization cannot
+        double-count them.
+        """
+        g = self.remove_self_loops()
+        src = np.concatenate([g.src, g.dst])
+        dst = np.concatenate([g.dst, g.src])
+        values = None
+        if g.values is not None:
+            values = np.concatenate([g.values, g.values])
+        out = CooGraph(
+            g.num_vertices, src, dst, values, ids=g.ids, directed=False
+        )
+        return out.remove_duplicates()
+
+    def reverse(self) -> "CooGraph":
+        """Return the graph with every edge direction flipped."""
+        return CooGraph(
+            self.num_vertices,
+            self.dst.copy(),
+            self.src.copy(),
+            None if self.values is None else self.values.copy(),
+            ids=self.ids,
+            directed=self.directed,
+        )
+
+    def with_values(self, values: np.ndarray) -> "CooGraph":
+        """Return a copy carrying the given per-edge values."""
+        return CooGraph(
+            self.num_vertices,
+            self.src.copy(),
+            self.dst.copy(),
+            np.asarray(values, dtype=self.ids.value_dtype).copy(),
+            ids=self.ids,
+            directed=self.directed,
+        )
+
+    def copy(self) -> "CooGraph":
+        return CooGraph(
+            self.num_vertices,
+            self.src.copy(),
+            self.dst.copy(),
+            None if self.values is None else self.values.copy(),
+            ids=self.ids,
+            directed=self.directed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"CooGraph({kind}, |V|={self.num_vertices}, |E|={self.num_edges})"
+        )

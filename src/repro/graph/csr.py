@@ -1,0 +1,209 @@
+"""Compressed-sparse-row graph structure.
+
+CSR is the storage format Gunrock uses on the GPU: ``row_offsets`` of length
+``|V|+1`` and ``col_indices`` of length ``|E|``.  The advance operator's
+cost model charges memory traffic per offset and per column index read, so
+the arrays use the dtypes from the graph's :class:`~repro.types.IdConfig`
+(this is how the 32- vs 64-bit ID experiment of Table V is expressed).
+
+A :class:`CsrGraph` may also carry its transpose (``csc``) for pull-style
+(backward) traversal, which direction-optimizing BFS requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..types import ID32, IdConfig
+from .coo import CooGraph
+
+__all__ = ["CsrGraph"]
+
+
+@dataclass
+class CsrGraph:
+    """A graph in CSR form, optionally weighted and optionally transposed.
+
+    Attributes
+    ----------
+    num_vertices:
+        Vertex count.  ``row_offsets`` has ``num_vertices + 1`` entries.
+    row_offsets:
+        Monotone array of edge offsets (``SizeT`` dtype).
+    col_indices:
+        Destination vertex of each edge (``VertexT`` dtype).
+    values:
+        Optional per-edge values aligned with ``col_indices``.
+    ids:
+        Integer-width configuration.
+    directed:
+        Whether the CSR encodes a directed graph.
+    """
+
+    num_vertices: int
+    row_offsets: np.ndarray
+    col_indices: np.ndarray
+    values: Optional[np.ndarray] = None
+    ids: IdConfig = field(default=ID32)
+    directed: bool = True
+    _csc: Optional["CsrGraph"] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.row_offsets = np.asarray(self.row_offsets, dtype=self.ids.size_dtype)
+        self.col_indices = np.asarray(self.col_indices, dtype=self.ids.vertex_dtype)
+        if self.values is not None:
+            self.values = np.asarray(self.values, dtype=self.ids.value_dtype)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: CooGraph, sort_neighbors: bool = True) -> "CsrGraph":
+        """Build a CSR graph from an edge list.
+
+        Edges are bucketed by source vertex with a counting sort (O(|V|+|E|),
+        fully vectorized).  When ``sort_neighbors`` is true each adjacency
+        list is additionally sorted by destination, which makes traversal
+        deterministic and binary-searchable.
+        """
+        n = coo.num_vertices
+        ids = coo.ids
+        counts = np.bincount(coo.src, minlength=n).astype(ids.size_dtype)
+        row_offsets = np.zeros(n + 1, dtype=ids.size_dtype)
+        np.cumsum(counts, out=row_offsets[1:])
+        if sort_neighbors:
+            order = np.lexsort((coo.dst, coo.src))
+        else:
+            order = np.argsort(coo.src, kind="stable")
+        col_indices = coo.dst[order].astype(ids.vertex_dtype)
+        values = None
+        if coo.values is not None:
+            values = coo.values[order].astype(ids.value_dtype)
+        return cls(
+            n, row_offsets, col_indices, values, ids=ids, directed=coo.directed
+        )
+
+    def to_coo(self) -> CooGraph:
+        """Expand back to an edge list (sources repeated per degree)."""
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=self.ids.vertex_dtype),
+            np.diff(self.row_offsets).astype(np.int64),
+        )
+        return CooGraph(
+            self.num_vertices,
+            src,
+            self.col_indices.copy(),
+            None if self.values is None else self.values.copy(),
+            ids=self.ids,
+            directed=self.directed,
+        )
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`GraphFormatError`."""
+        n = self.num_vertices
+        if self.row_offsets.shape != (n + 1,):
+            raise GraphFormatError(
+                f"row_offsets must have length |V|+1={n + 1}, "
+                f"got {self.row_offsets.shape}"
+            )
+        if n >= 0 and self.row_offsets.size and int(self.row_offsets[0]) != 0:
+            raise GraphFormatError("row_offsets[0] must be 0")
+        if np.any(np.diff(self.row_offsets) < 0):
+            raise GraphFormatError("row_offsets must be non-decreasing")
+        m = int(self.row_offsets[-1]) if self.row_offsets.size else 0
+        if self.col_indices.size != m:
+            raise GraphFormatError(
+                f"col_indices length {self.col_indices.size} != row_offsets[-1]={m}"
+            )
+        if self.values is not None and self.values.size != m:
+            raise GraphFormatError("values length must equal edge count")
+        if self.col_indices.size:
+            cmin = int(self.col_indices.min())
+            cmax = int(self.col_indices.max())
+            if cmin < 0 or cmax >= n:
+                raise GraphFormatError(
+                    f"col index out of range [0, {n}): saw [{cmin}, {cmax}]"
+                )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return int(self.row_offsets[-1]) if self.row_offsets.size else 0
+
+    def out_degree(self, v: Optional[np.ndarray] = None) -> np.ndarray:
+        """Out-degrees of ``v`` (or all vertices if ``v`` is None)."""
+        deg = np.diff(self.row_offsets)
+        if v is None:
+            return deg
+        return deg[np.asarray(v)]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """The adjacency list of a single vertex (a view, not a copy)."""
+        return self.col_indices[self.row_offsets[v] : self.row_offsets[v + 1]]
+
+    def edge_values(self, v: int) -> Optional[np.ndarray]:
+        """Values on the out-edges of ``v`` (None if unweighted)."""
+        if self.values is None:
+            return None
+        return self.values[self.row_offsets[v] : self.row_offsets[v + 1]]
+
+    def average_degree(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / self.num_vertices
+
+    # ------------------------------------------------------------------
+    # transpose (CSC) support for pull traversal
+    # ------------------------------------------------------------------
+    @property
+    def csc(self) -> "CsrGraph":
+        """The transpose graph (incoming edges), built lazily and cached.
+
+        For an undirected graph the transpose equals the graph itself, so we
+        return ``self`` and spend no extra memory — this mirrors the paper's
+        datasets, which are converted to undirected form.
+        """
+        if not self.directed:
+            return self
+        if self._csc is None:
+            self._csc = CsrGraph.from_coo(self.to_coo().reverse())
+        return self._csc
+
+    def memory_bytes(self) -> int:
+        """Bytes the CSR arrays occupy (what a device must hold)."""
+        total = self.row_offsets.nbytes + self.col_indices.nbytes
+        if self.values is not None:
+            total += self.values.nbytes
+        return int(total)
+
+    def with_ids(self, ids: IdConfig) -> "CsrGraph":
+        """Re-type the graph to a different ID width configuration."""
+        if self.num_edges > ids.max_size():
+            raise GraphFormatError(
+                f"graph has {self.num_edges} edges, too many for "
+                f"{ids.size_dtype.name} edge IDs"
+            )
+        if self.num_vertices > ids.max_vertex():
+            raise GraphFormatError(
+                f"graph has {self.num_vertices} vertices, too many for "
+                f"{ids.vertex_dtype.name} vertex IDs"
+            )
+        return CsrGraph(
+            self.num_vertices,
+            self.row_offsets.astype(ids.size_dtype),
+            self.col_indices.astype(ids.vertex_dtype),
+            None if self.values is None else self.values.astype(ids.value_dtype),
+            ids=ids,
+            directed=self.directed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "directed" if self.directed else "undirected"
+        return f"CsrGraph({kind}, |V|={self.num_vertices}, |E|={self.num_edges})"

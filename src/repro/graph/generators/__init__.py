@@ -1,0 +1,32 @@
+"""Synthetic graph generators for the paper's dataset families.
+
+Four families, matching Table II plus the road-network discussion:
+
+* :mod:`~repro.graph.generators.rmat` — GTgraph-faithful R-MAT
+  (the "rmat"/"kron" group and all scaling workloads);
+* :mod:`~repro.graph.generators.social` — power-law Chung-Lu graphs
+  (the "soc" group);
+* :mod:`~repro.graph.generators.web` — host-structured copying model
+  (the "web" group);
+* :mod:`~repro.graph.generators.road` — grids with deletions/shortcuts
+  (the high-diameter hard case).
+"""
+
+from .rmat import MERRILL_RMAT, PAPER_RMAT, RmatParams, generate_rmat, rmat_coo
+from .road import generate_road, road_coo
+from .social import generate_social, social_coo
+from .web import generate_web, web_coo
+
+__all__ = [
+    "RmatParams",
+    "PAPER_RMAT",
+    "MERRILL_RMAT",
+    "generate_rmat",
+    "rmat_coo",
+    "generate_road",
+    "road_coo",
+    "generate_social",
+    "social_coo",
+    "generate_web",
+    "web_coo",
+]

@@ -1,0 +1,176 @@
+"""Graph I/O: edge-list and MatrixMarket-style readers and writers.
+
+The paper's real datasets come from the UF sparse matrix collection
+(MatrixMarket files) and SNAP-style edge lists.  These readers let users
+load their own graphs into the framework; the test suite uses them for
+round-trip checks.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..types import ID32, IdConfig
+from .coo import CooGraph
+from .csr import CsrGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_matrix_market",
+    "write_matrix_market",
+]
+
+PathLike = Union[str, Path, _io.IOBase]
+
+
+def _open_read(path: PathLike):
+    if isinstance(path, _io.IOBase):
+        return path, False
+    return open(path, "r"), True
+
+
+def _open_write(path: PathLike):
+    if isinstance(path, _io.IOBase):
+        return path, False
+    return open(path, "w"), True
+
+
+def read_edge_list(
+    path: PathLike,
+    num_vertices: Optional[int] = None,
+    ids: IdConfig = ID32,
+    comment: str = "#",
+    weighted: bool = False,
+) -> CooGraph:
+    """Read a SNAP-style whitespace-separated edge list.
+
+    Lines beginning with ``comment`` are skipped.  If ``num_vertices`` is
+    omitted it is inferred as ``max_id + 1``.
+    """
+    fh, close = _open_read(path)
+    try:
+        srcs, dsts, vals = [], [], []
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"bad edge line: {line!r}")
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            if weighted:
+                if len(parts) < 3:
+                    raise GraphFormatError(
+                        f"weighted=True but no weight on line: {line!r}"
+                    )
+                vals.append(float(parts[2]))
+    finally:
+        if close:
+            fh.close()
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    if num_vertices is None:
+        num_vertices = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    values = np.asarray(vals) if weighted else None
+    return CooGraph(num_vertices, src, dst, values=values, ids=ids)
+
+
+def write_edge_list(graph: Union[CooGraph, CsrGraph], path: PathLike) -> None:
+    """Write a graph as a whitespace-separated edge list."""
+    coo = graph.to_coo() if isinstance(graph, CsrGraph) else graph
+    fh, close = _open_write(path)
+    try:
+        fh.write(f"# repro edge list |V|={coo.num_vertices} |E|={coo.num_edges}\n")
+        if coo.values is None:
+            for u, v in zip(coo.src.tolist(), coo.dst.tolist()):
+                fh.write(f"{u} {v}\n")
+        else:
+            for u, v, w in zip(
+                coo.src.tolist(), coo.dst.tolist(), coo.values.tolist()
+            ):
+                fh.write(f"{u} {v} {w}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def read_matrix_market(path: PathLike, ids: IdConfig = ID32) -> CooGraph:
+    """Read a (subset of) MatrixMarket coordinate file as a graph.
+
+    Supports ``matrix coordinate {pattern|real|integer} {general|symmetric}``.
+    Symmetric matrices are expanded to both directions; the matrix must be
+    square.  IDs are converted from MatrixMarket's 1-based to 0-based.
+    """
+    fh, close = _open_read(path)
+    try:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphFormatError("missing %%MatrixMarket header")
+        tokens = header.strip().split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise GraphFormatError(f"unsupported MatrixMarket header: {header!r}")
+        field, symmetry = tokens[3], tokens[4]
+        if field not in ("pattern", "real", "integer"):
+            raise GraphFormatError(f"unsupported field type: {field}")
+        if symmetry not in ("general", "symmetric"):
+            raise GraphFormatError(f"unsupported symmetry: {symmetry}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        rows, cols, _nnz = (int(x) for x in line.split())
+        if rows != cols:
+            raise GraphFormatError(
+                f"adjacency matrix must be square, got {rows}x{cols}"
+            )
+        srcs, dsts, vals = [], [], []
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            srcs.append(int(parts[0]) - 1)
+            dsts.append(int(parts[1]) - 1)
+            if field != "pattern":
+                vals.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    finally:
+        if close:
+            fh.close()
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    values = None if field == "pattern" else np.asarray(vals)
+    if symmetry == "symmetric":
+        off = src != dst
+        src2 = np.concatenate([src, dst[off]])
+        dst2 = np.concatenate([dst, src[off]])
+        if values is not None:
+            values = np.concatenate([values, values[off]])
+        src, dst = src2, dst2
+    return CooGraph(rows, src, dst, values=values, ids=ids)
+
+
+def write_matrix_market(graph: Union[CooGraph, CsrGraph], path: PathLike) -> None:
+    """Write a graph as a general coordinate MatrixMarket file."""
+    coo = graph.to_coo() if isinstance(graph, CsrGraph) else graph
+    field = "pattern" if coo.values is None else "real"
+    fh, close = _open_write(path)
+    try:
+        fh.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        fh.write(f"{coo.num_vertices} {coo.num_vertices} {coo.num_edges}\n")
+        if coo.values is None:
+            for u, v in zip(coo.src.tolist(), coo.dst.tolist()):
+                fh.write(f"{u + 1} {v + 1}\n")
+        else:
+            for u, v, w in zip(
+                coo.src.tolist(), coo.dst.tolist(), coo.values.tolist()
+            ):
+                fh.write(f"{u + 1} {v + 1} {w}\n")
+    finally:
+        if close:
+            fh.close()

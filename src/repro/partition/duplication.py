@@ -1,0 +1,198 @@
+"""Vertex duplication: building per-GPU subgraphs.
+
+Section III-C: vertices are distributed to GPUs together with their
+outgoing edges; remote vertices referenced by those edges are duplicated
+locally as *proxies* so that per-GPU computation touches only local data.
+Two strategies:
+
+* **duplicate-1-hop** — proxies only for the immediate remote neighbors;
+  vertices renumbered with continuous local IDs (hosted vertices first,
+  then proxies).  Less memory, but communication needs ID conversion.
+* **duplicate-all** — every vertex of V exists on every GPU (remote ones
+  with zero out-edges); IDs stay global, no conversion needed, more
+  memory.  Required by primitives that look beyond one hop or traverse
+  backward (DOBFS, CC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..graph.csr import CsrGraph
+from .base import PartitionResult
+
+__all__ = ["SubGraph", "build_subgraphs", "DUPLICATE_ALL", "DUPLICATE_1HOP"]
+
+DUPLICATE_ALL = "duplicate-all"
+DUPLICATE_1HOP = "duplicate-1-hop"
+
+
+@dataclass
+class SubGraph:
+    """The portion of the graph owned by one GPU, in local index space.
+
+    Attributes
+    ----------
+    gpu_id:
+        Owning GPU.
+    csr:
+        Local CSR over the GPU's vertex set V_i (hosted + proxies).
+        Proxy vertices have zero out-edges.
+    num_hosted:
+        |L_i| — vertices this GPU is responsible for.
+    local_to_global:
+        Global ID of each local vertex (length |V_i|).
+    host_of_local:
+        Hosting GPU of each local vertex (length |V_i|).
+    host_local_id:
+        For each local vertex, its vertex ID *on its hosting GPU* — what
+        must be placed in an outgoing message.  For duplicate-all this is
+        the identity (global IDs are universal).
+    strategy:
+        Which duplication strategy built this subgraph.
+    """
+
+    gpu_id: int
+    csr: CsrGraph
+    num_hosted: int
+    local_to_global: np.ndarray
+    host_of_local: np.ndarray
+    host_local_id: np.ndarray
+    strategy: str
+
+    @property
+    def num_vertices(self) -> int:
+        """|V_i|: hosted plus proxy vertices."""
+        return self.csr.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """|E_i|."""
+        return self.csr.num_edges
+
+    def is_hosted(self, local_ids: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of these local vertices does this GPU host?"""
+        return self.host_of_local[local_ids] == self.gpu_id
+
+    def hosted_mask(self) -> np.ndarray:
+        return self.host_of_local == self.gpu_id
+
+    def memory_bytes(self) -> int:
+        """Logical bytes of the subgraph structure on the device."""
+        total = self.csr.memory_bytes()
+        total += self.local_to_global.nbytes
+        total += self.host_of_local.nbytes
+        return int(total)
+
+
+def _subgraph_duplicate_all(
+    graph: CsrGraph, part: PartitionResult, gpu: int
+) -> SubGraph:
+    """Every global vertex exists locally; only hosted rows keep edges."""
+    pt = part.partition_table
+    hosted = pt == gpu
+    deg = np.diff(graph.row_offsets).astype(np.int64)
+    local_deg = np.where(hosted, deg, 0)
+    row_offsets = np.zeros(graph.num_vertices + 1, dtype=graph.ids.size_dtype)
+    np.cumsum(local_deg, out=row_offsets[1:])
+    # gather the hosted rows' column slices
+    keep = np.repeat(hosted, deg)
+    cols = graph.col_indices[keep]
+    values = None if graph.values is None else graph.values[keep]
+    csr = CsrGraph(
+        graph.num_vertices, row_offsets, cols, values,
+        ids=graph.ids, directed=graph.directed,
+    )
+    n = graph.num_vertices
+    ident = np.arange(n, dtype=np.int64)
+    return SubGraph(
+        gpu_id=gpu,
+        csr=csr,
+        num_hosted=int(hosted.sum()),
+        local_to_global=ident,
+        host_of_local=pt.astype(np.int32),
+        host_local_id=ident,
+        strategy=DUPLICATE_ALL,
+    )
+
+
+def _subgraph_duplicate_1hop(
+    graph: CsrGraph, part: PartitionResult, gpu: int
+) -> SubGraph:
+    """Hosted vertices renumbered [0, |L_i|), proxies [|L_i|, |V_i|)."""
+    pt = part.partition_table
+    hosted_globals = part.hosted_by(gpu)  # sorted global ids
+    num_hosted = hosted_globals.size
+    deg = np.diff(graph.row_offsets).astype(np.int64)
+    hdeg = deg[hosted_globals]
+    # gather this GPU's edges (outgoing edges of hosted vertices)
+    keep = np.repeat(pt == gpu, deg)
+    dst_global = graph.col_indices[keep].astype(np.int64)
+    values = None if graph.values is None else graph.values[keep]
+    # proxies: distinct remote destinations, by ascending global id
+    remote = np.unique(dst_global[pt[dst_global] != gpu])
+    l2g = np.concatenate([hosted_globals, remote])
+    # map destination globals to local ids: hosted via conversion table,
+    # remote via searchsorted into the sorted proxy list
+    dst_is_local = pt[dst_global] == gpu
+    dst_local = np.empty(dst_global.size, dtype=np.int64)
+    dst_local[dst_is_local] = part.conversion_table[dst_global[dst_is_local]]
+    dst_local[~dst_is_local] = num_hosted + np.searchsorted(
+        remote, dst_global[~dst_is_local]
+    )
+    num_local_vertices = l2g.size
+    row_offsets = np.zeros(num_local_vertices + 1, dtype=graph.ids.size_dtype)
+    np.cumsum(
+        np.concatenate([hdeg, np.zeros(remote.size, dtype=np.int64)]),
+        out=row_offsets[1:],
+    )
+    csr = CsrGraph(
+        num_local_vertices,
+        row_offsets,
+        dst_local.astype(graph.ids.vertex_dtype),
+        values,
+        ids=graph.ids,
+        directed=graph.directed,
+    )
+    host_of_local = np.concatenate(
+        [np.full(num_hosted, gpu, dtype=np.int32), pt[remote].astype(np.int32)]
+    )
+    # ID each local vertex carries on its host GPU: the conversion table
+    host_local_id = part.conversion_table[l2g].astype(np.int64)
+    return SubGraph(
+        gpu_id=gpu,
+        csr=csr,
+        num_hosted=num_hosted,
+        local_to_global=l2g,
+        host_of_local=host_of_local,
+        host_local_id=host_local_id,
+        strategy=DUPLICATE_1HOP,
+    )
+
+
+def build_subgraphs(
+    graph: CsrGraph,
+    part: PartitionResult,
+    strategy: str = DUPLICATE_ALL,
+) -> List[SubGraph]:
+    """Build every GPU's subgraph under the chosen duplication strategy.
+
+    A single-GPU partition returns one trivially-complete subgraph so
+    primitives can run the same code path for n = 1.
+    """
+    if strategy not in (DUPLICATE_ALL, DUPLICATE_1HOP):
+        raise PartitionError(f"unknown duplication strategy: {strategy!r}")
+    if part.num_vertices != graph.num_vertices:
+        raise PartitionError(
+            "partition table size does not match the graph"
+        )
+    builder = (
+        _subgraph_duplicate_all
+        if strategy == DUPLICATE_ALL
+        else _subgraph_duplicate_1hop
+    )
+    return [builder(graph, part, g) for g in range(part.num_gpus)]

@@ -1,0 +1,54 @@
+"""The paper's six graph primitives in the mGPU framework abstraction.
+
+Each primitive is a (Problem, Iteration) pair plus a ``run_*`` one-shot
+helper.  Table I summary:
+
+============  ==========  =============  ====================  ==========
+primitive     W           comm. C        comm. volume H        iterations
+============  ==========  =============  ====================  ==========
+BFS           O(|Ei|)     O(|Vi|)        O(|Bi|)               ~D/2
+DOBFS         O(a|Ei|)    O(|V|)         O((n-1)|V|)           ~D/2
+SSSP          O(b|Ei|)    O(b|Vi|)       O(2b|Bi|)             ~bD/2
+BC            O(2|Ei|)    O(2|Vi|+|V|)   O(5|Bi|+2(n-1)|Li|)   ~D/2
+CC            log(D/2)W   S*O(|Vi|)      S*O(2|Vi|)            2-5
+PR            S*O(|Ei|)   S*O(|Bi|)      S*O(|Bi|)             data-dep.
+============  ==========  =============  ====================  ==========
+"""
+
+from .bc import BCIteration, BCProblem, run_bc
+from .bfs import BFSIteration, BFSProblem, run_bfs
+from .cc import CCIteration, CCProblem, run_cc
+from .dobfs import DOBFSIteration, DOBFSProblem, run_dobfs
+from .pr import PRIteration, PRProblem, run_pagerank
+from .sssp import SSSPIteration, SSSPProblem, run_sssp
+
+__all__ = [
+    "BFSProblem",
+    "BFSIteration",
+    "run_bfs",
+    "DOBFSProblem",
+    "DOBFSIteration",
+    "run_dobfs",
+    "SSSPProblem",
+    "SSSPIteration",
+    "run_sssp",
+    "CCProblem",
+    "CCIteration",
+    "run_cc",
+    "BCProblem",
+    "BCIteration",
+    "run_bc",
+    "PRProblem",
+    "PRIteration",
+    "run_pagerank",
+]
+
+#: names -> runner, for sweep drivers
+RUNNERS = {
+    "bfs": run_bfs,
+    "dobfs": run_dobfs,
+    "sssp": run_sssp,
+    "cc": run_cc,
+    "bc": run_bc,
+    "pr": run_pagerank,
+}

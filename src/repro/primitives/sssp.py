@@ -1,0 +1,170 @@
+"""Single-source shortest path.
+
+Frontier-based Bellman-Ford relaxation (Gunrock's SSSP): each iteration
+advances from the frontier relaxing tentative distances; vertices whose
+distance improved form the next frontier.  A vertex can re-enter the
+frontier, which is Table I's factor ``b``: W = O(b|Ei|), H = O(2b|Bi|)
+(vertex + distance value per item), S ~ b*D/2.
+
+* Vertex duplication: **duplicate-1-hop** — SSSP only ever touches the
+  immediate neighbors of outgoing edges, the case Section III-C says
+  duplicate-1-hop + selective-communication is made for (it also
+  exercises the ID-conversion machinery).
+* Communication: **selective**; value associate = the tentative distance,
+  optional vertex associate = the predecessor (global ID).
+* Combination: ``atomicMin`` on distances; improved vertices join the
+  next frontier.
+* Convergence: all frontiers empty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.comm import SELECTIVE, Message
+from ..core.iteration import GpuContext, IterationBase
+from ..core.operators.advance import advance_push
+from ..core.problem import DataSlice, ProblemBase
+from ..core.stats import OpStats
+from ..errors import GraphFormatError
+from ..partition.duplication import DUPLICATE_1HOP, SubGraph
+
+__all__ = ["SSSPProblem", "SSSPIteration", "run_sssp"]
+
+
+class SSSPProblem(ProblemBase):
+    """Per-GPU SSSP state: tentative distances (+ optional preds)."""
+
+    name = "sssp"
+    duplication = DUPLICATE_1HOP
+    communication = SELECTIVE
+    NUM_VALUE_ASSOCIATES = 1  # the distance travels with each vertex
+
+    def __init__(self, *args, mark_predecessors: bool = False, **kwargs):
+        self.mark_predecessors = mark_predecessors
+        self.NUM_VERTEX_ASSOCIATES = 1 if mark_predecessors else 0
+        super().__init__(*args, **kwargs)
+        if self.graph.values is None:
+            raise GraphFormatError(
+                "SSSP needs edge values; use add_random_weights()"
+            )
+
+    def init_data_slice(self, ds: DataSlice, sub: SubGraph) -> None:
+        ds.allocate("dist", sub.num_vertices, np.float64, fill=np.inf)
+        if self.mark_predecessors:
+            ds.allocate("preds", sub.num_vertices, np.int64, fill=-1)
+
+    def reset(self, src: int = 0) -> List[np.ndarray]:
+        for ds in self.data_slices:
+            ds["dist"].fill(np.inf)
+            if self.mark_predecessors:
+                ds["preds"].fill(-1)
+        src_gpu, local_src = self.locate(src)
+        self.data_slices[src_gpu]["dist"][local_src] = 0.0
+        frontiers = [np.empty(0, dtype=np.int64) for _ in range(self.num_gpus)]
+        frontiers[src_gpu] = np.array([local_src], dtype=np.int64)
+        return frontiers
+
+    def distances(self) -> np.ndarray:
+        """Global distance array (inf = unreached)."""
+        return self.extract("dist")
+
+    def predecessors(self):
+        if not self.mark_predecessors:
+            return None
+        return self.extract("preds")
+
+
+class SSSPIteration(IterationBase):
+    """Relaxation core and min-distance combiner."""
+
+    def full_queue_core(
+        self, ctx: GpuContext, frontier: np.ndarray
+    ) -> Tuple[np.ndarray, List[OpStats]]:
+        problem: SSSPProblem = self.problem  # type: ignore[assignment]
+        dist = ctx.slice["dist"]
+        csr = ctx.sub.csr
+        if frontier.size == 0:
+            return np.empty(0, dtype=np.int64), []
+        # a vertex may appear several times (local rediscovery + remote
+        # updates); relax each copy — the GPU kernel does the same
+        nbrs, srcs, eidx, a_stats = advance_push(
+            csr, frontier, ids_bytes=ctx.ids_bytes
+        )
+        if nbrs.size == 0:
+            return np.empty(0, dtype=np.int64), [a_stats]
+        cand = dist[srcs] + csr.values[eidx]
+        # deterministic atomicMin: per-neighbor minimum candidate
+        old = dist[nbrs].copy()
+        np.minimum.at(dist, nbrs, cand)
+        improved_mask = dist[nbrs] < old
+        improved = np.unique(nbrs[improved_mask])
+        relax_stats = OpStats(
+            name="relax",
+            input_size=int(nbrs.size),
+            output_size=int(improved.size),
+            vertices_processed=int(frontier.size),
+            launches=1,
+            streaming_bytes=(nbrs.size + improved.size) * ctx.ids_bytes,
+            random_bytes=nbrs.size * (8 + 8),  # dist read + weight read
+            atomic_ops=float(nbrs.size),
+        )
+        if problem.mark_predecessors and improved.size:
+            # winner edge per improved vertex: the candidate equal to the
+            # final distance with the smallest edge index
+            order = np.lexsort((eidx, nbrs))
+            s_nbrs, s_cand, s_srcs = nbrs[order], cand[order], srcs[order]
+            pos = np.searchsorted(s_nbrs, improved, side="left")
+            ends = np.searchsorted(s_nbrs, improved, side="right")
+            preds = ctx.slice["preds"]
+            l2g = ctx.sub.local_to_global
+            for k, v in enumerate(improved):
+                seg = slice(pos[k], ends[k])
+                hit = pos[k] + int(np.argmax(s_cand[seg] <= dist[v] + 1e-12))
+                preds[v] = l2g[s_srcs[hit]]
+        return improved, [a_stats, relax_stats]
+
+    def expand_incoming(
+        self, ctx: GpuContext, msg: Message
+    ) -> Tuple[np.ndarray, List[OpStats]]:
+        problem: SSSPProblem = self.problem  # type: ignore[assignment]
+        dist = ctx.slice["dist"]
+        verts = np.asarray(msg.vertices, dtype=np.int64)
+        incoming = np.asarray(msg.value_associates[0], dtype=np.float64)
+        improved_mask = incoming < dist[verts]
+        fresh = verts[improved_mask]
+        dist[fresh] = incoming[improved_mask]
+        if problem.mark_predecessors and msg.vertex_associates:
+            ctx.slice["preds"][fresh] = msg.vertex_associates[0][improved_mask]
+        stats = OpStats(
+            name="expand_incoming",
+            input_size=int(verts.size),
+            output_size=int(fresh.size),
+            vertices_processed=int(verts.size),
+            launches=1,
+            streaming_bytes=verts.size * (ctx.ids_bytes + 8),
+            random_bytes=verts.size * 16,
+        )
+        return fresh, [stats]
+
+    def value_associate_arrays(self, ctx: GpuContext):
+        return [ctx.slice["dist"]]
+
+    def vertex_associate_arrays(self, ctx: GpuContext):
+        problem: SSSPProblem = self.problem  # type: ignore[assignment]
+        if problem.mark_predecessors:
+            return [ctx.slice["preds"]]
+        return []
+
+
+def run_sssp(graph, machine, src: int = 0, partitioner=None, scheme=None,
+             **enactor_kwargs):
+    """Convenience one-shot SSSP: returns (distances, metrics, problem)."""
+    from ..core.enactor import Enactor
+
+    problem = SSSPProblem(graph, machine, partitioner=partitioner)
+    enactor = Enactor(problem, SSSPIteration, scheme=scheme, **enactor_kwargs)
+    metrics = enactor.enact(src=src)
+    return problem.distances(), metrics, problem

@@ -1,0 +1,56 @@
+"""Virtual multi-GPU machine: devices, memory, interconnect, cost model.
+
+This package is the substitution for the paper's physical GPU nodes (see
+DESIGN.md): correctness-bearing computation runs in NumPy, while time is
+charged on virtual streams by a calibrated cost model, reproducing the
+BSP ``W + H*g + S*l`` behaviour the paper analyzes.
+"""
+
+from .clock import VirtualClock
+from .device import K40, K80_HALF, P100, DeviceSpec, VirtualGPU
+from .interconnect import NVLINK, PCIE3_HOST, PCIE3_PEER, Interconnect, LinkSpec
+from .kernel import KernelCost, KernelModel
+from .machine import DEFAULT_SCALE, Machine, k40_node, k80_node, p100_node
+from .memory import (
+    AllocationScheme,
+    FixedPrealloc,
+    JustEnough,
+    MaxAlloc,
+    MemoryPool,
+    PreallocFusion,
+    scheme_by_name,
+)
+from .metrics import IterationRecord, RunMetrics
+from .stream import Event, Stream
+
+__all__ = [
+    "VirtualClock",
+    "DeviceSpec",
+    "VirtualGPU",
+    "K40",
+    "K80_HALF",
+    "P100",
+    "Interconnect",
+    "LinkSpec",
+    "PCIE3_PEER",
+    "PCIE3_HOST",
+    "NVLINK",
+    "KernelModel",
+    "KernelCost",
+    "Machine",
+    "k40_node",
+    "k80_node",
+    "p100_node",
+    "DEFAULT_SCALE",
+    "MemoryPool",
+    "AllocationScheme",
+    "JustEnough",
+    "FixedPrealloc",
+    "MaxAlloc",
+    "PreallocFusion",
+    "scheme_by_name",
+    "IterationRecord",
+    "RunMetrics",
+    "Event",
+    "Stream",
+]

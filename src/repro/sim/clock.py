@@ -1,0 +1,45 @@
+"""Virtual time.
+
+All performance numbers produced by this library are *virtual*: time only
+advances when the cost model charges it.  This keeps every experiment
+deterministic and lets us model the paper's hardware (K40/K80/P100 nodes)
+on any host.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotone virtual clock measured in seconds."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t`` (never backward)."""
+        if t < self._now - 1e-18:
+            raise SimulationError(
+                f"clock cannot move backward: now={self._now}, target={t}"
+            )
+        self._now = max(self._now, t)
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds."""
+        if dt < 0:
+            raise SimulationError(f"negative time delta: {dt}")
+        self._now += dt
+
+    def reset(self) -> None:
+        self._now = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock(now={self._now * 1e3:.3f} ms)"

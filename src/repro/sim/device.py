@@ -1,0 +1,125 @@
+"""Virtual GPU devices.
+
+:class:`DeviceSpec` captures the hardware constants the paper's BSP
+analysis depends on — memory capacity, memory bandwidth, kernel-launch
+overhead — for the three GPU models used in the evaluation (K40, K80,
+P100).  :class:`VirtualGPU` is one device instance: a memory pool plus a
+set of virtual streams.
+
+Bandwidth numbers are the published peak DRAM bandwidths; the *effective*
+bandwidth achieved by graph kernels is peak times an access-efficiency
+factor (regular streaming vs. random gather/scatter), which is how real
+GPU traversal kernels behave (Merrill et al. report roughly 1/3 of peak for
+BFS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .memory import MemoryPool
+from .stream import Stream
+
+__all__ = ["DeviceSpec", "K40", "K80_HALF", "P100", "VirtualGPU"]
+
+GB = 1024**3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware constants of one GPU model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name.
+    memory_bytes:
+        DRAM capacity per GPU.
+    mem_bandwidth:
+        Peak DRAM bandwidth, bytes/second.
+    kernel_launch_overhead:
+        Fixed cost per kernel launch (~3 µs on Kepler, paper Section V-B).
+    streaming_efficiency:
+        Fraction of peak bandwidth achieved by coalesced streaming access.
+    random_efficiency:
+        Fraction of peak bandwidth achieved by random gather/scatter —
+        graph traversal is dominated by this regime.
+    iteration_overhead:
+        Per-iteration framework overhead on one GPU (driver API calls,
+        bookkeeping kernel launches).  Calibrated so that the paper's
+        minimal-workload experiment (Section V-B: 66.8 µs/iteration on
+        1 GPU) is reproduced.
+    """
+
+    name: str
+    memory_bytes: int
+    mem_bandwidth: float
+    kernel_launch_overhead: float = 3e-6
+    streaming_efficiency: float = 0.75
+    random_efficiency: float = 0.33
+    iteration_overhead: float = 60e-6
+
+    def effective_bandwidth(self, random_access: bool) -> float:
+        eff = self.random_efficiency if random_access else self.streaming_efficiency
+        return self.mem_bandwidth * eff
+
+
+#: Tesla K40: 12 GB GDDR5, 288 GB/s.  The paper's main 6-GPU test node.
+K40 = DeviceSpec("Tesla K40", 12 * GB, 288e9)
+
+#: One GPU of a Tesla K80 board: 12 GB, 240 GB/s.  4 boards = 8 GPUs
+#: (Fig. 5 strong/weak scaling system 1).
+K80_HALF = DeviceSpec("Tesla K80 (one GPU)", 12 * GB, 240e9)
+
+#: Tesla P100 (PCIe, 16 GB HBM2, 732 GB/s).  Fig. 5 system 2: computation
+#: is ~2.5x faster but inter-GPU bandwidth stays the same, which is what
+#: makes DOBFS scaling *worse* on P100.
+P100 = DeviceSpec("Tesla P100", 16 * GB, 732e9, kernel_launch_overhead=2.5e-6,
+                  iteration_overhead=50e-6)
+
+
+@dataclass
+class VirtualGPU:
+    """One simulated GPU: identity, memory pool, named streams."""
+
+    device_id: int
+    spec: DeviceSpec
+    memory: MemoryPool
+    streams: Dict[str, Stream] = field(default_factory=dict)
+
+    @classmethod
+    def create(cls, device_id: int, spec: DeviceSpec, scale: float) -> "VirtualGPU":
+        gpu = cls(
+            device_id=device_id,
+            spec=spec,
+            memory=MemoryPool(
+                capacity=spec.memory_bytes,
+                scale=scale,
+                owner=f"GPU{device_id}",
+            ),
+        )
+        # Gunrock separates computation and communication into different
+        # streams to overlap them (paper Section III-B "Manage GPUs").
+        gpu.streams["compute"] = Stream(f"gpu{device_id}.compute")
+        gpu.streams["comm"] = Stream(f"gpu{device_id}.comm")
+        return gpu
+
+    @property
+    def compute(self) -> Stream:
+        return self.streams["compute"]
+
+    @property
+    def comm(self) -> Stream:
+        return self.streams["comm"]
+
+    def reset_time(self) -> None:
+        for s in self.streams.values():
+            s.reset()
+
+    def busy_until(self) -> float:
+        """Time at which every stream of this GPU has drained."""
+        return max(s.available_at for s in self.streams.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualGPU(id={self.device_id}, spec={self.spec.name})"

@@ -1,0 +1,85 @@
+"""Kernel cost model.
+
+Charges virtual time for GPU kernels from first principles the paper's
+analysis uses: a fixed launch overhead (~3 µs, Section V-B) plus memory
+traffic divided by effective bandwidth.  Graph kernels are memory-bound,
+so traffic — not FLOPs — is the cost driver; the advance operator's
+traffic is dominated by random gathers (neighbor lists, label lookups),
+filters by streaming passes.
+
+All byte counts passed in are *logical* (stand-in dataset sizes); the
+model multiplies by the machine's workload ``scale`` (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+__all__ = ["KernelCost", "KernelModel"]
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Breakdown of one kernel's charged time."""
+
+    launch: float
+    traffic: float
+
+    @property
+    def total(self) -> float:
+        return self.launch + self.traffic
+
+
+class KernelModel:
+    """Computes kernel durations for a device at a given workload scale."""
+
+    def __init__(self, spec: DeviceSpec, scale: float = 1.0):
+        self.spec = spec
+        self.scale = float(scale)
+
+    def kernel_time(
+        self,
+        streaming_bytes: float = 0.0,
+        random_bytes: float = 0.0,
+        launches: int = 1,
+        atomic_ops: float = 0.0,
+    ) -> KernelCost:
+        """Time for a (possibly fused) kernel.
+
+        Parameters
+        ----------
+        streaming_bytes:
+            Coalesced sequential traffic (frontier reads, offset scans).
+        random_bytes:
+            Gather/scatter traffic (neighbor lists, label arrays).
+        launches:
+            Number of kernel launches charged (fusion reduces this).
+        atomic_ops:
+            Number of global atomics; charged at 1/4 of random-access item
+            bandwidth, reflecting serialization on contended lines (this is
+            the cost that limits Bisson et al.'s atomic-heavy BFS,
+            Section II-A).
+        """
+        launch = launches * self.spec.kernel_launch_overhead
+        t = 0.0
+        if streaming_bytes > 0:
+            t += (streaming_bytes * self.scale) / self.spec.effective_bandwidth(False)
+        if random_bytes > 0:
+            t += (random_bytes * self.scale) / self.spec.effective_bandwidth(True)
+        if atomic_ops > 0:
+            # model atomics as 8-byte random accesses at 1/4 efficiency
+            t += (atomic_ops * 8 * self.scale) / (
+                self.spec.effective_bandwidth(True) * 0.25
+            )
+        return KernelCost(launch=launch, traffic=t)
+
+    def memcpy_time(self, nbytes: float) -> float:
+        """Device-local copy (used by reallocation's malloc+copy)."""
+        if nbytes <= 0:
+            return self.spec.kernel_launch_overhead
+        return (
+            self.spec.kernel_launch_overhead
+            + (2 * nbytes * self.scale) / self.spec.effective_bandwidth(False)
+        )

@@ -1,0 +1,297 @@
+"""Per-device memory pools and the paper's allocation schemes.
+
+GPU memory capacity is the central constraint of Section VI-B.  Every
+virtual GPU owns a :class:`MemoryPool` with the capacity of its
+:class:`~repro.sim.device.DeviceSpec`; all framework buffers (subgraph CSR,
+labels, frontier queues, communication buffers) are allocated from it, and
+exceeding capacity raises :class:`~repro.errors.DeviceMemoryError` exactly
+where a real run would fail with ``cudaErrorMemoryAllocation``.
+
+The four allocation schemes compared in Fig. 3 are expressed as
+:class:`AllocationScheme` policies that the enactor consults when sizing
+frontier buffers:
+
+* ``max``: worst-case O(|E|) buffers — safe but wasteful;
+* ``fixed``: preallocation with sizing factors "calculated from previous
+  runs of similar graphs";
+* ``just-enough``: estimate then reallocate on demand (reallocation is
+  charged time but is rare);
+* ``prealloc+fusion``: fixed preallocation, with advance+filter kernel
+  fusion eliminating the O(|E|) intermediate frontier entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import DeviceMemoryError
+
+__all__ = [
+    "Allocation",
+    "MemoryPool",
+    "AllocationScheme",
+    "JustEnough",
+    "FixedPrealloc",
+    "MaxAlloc",
+    "PreallocFusion",
+    "scheme_by_name",
+]
+
+
+@dataclass
+class Allocation:
+    """One live allocation in a pool (sizes in *logical* bytes)."""
+
+    name: str
+    nbytes: int
+
+
+class MemoryPool:
+    """Tracks allocations on one virtual GPU.
+
+    Sizes passed in are *logical* bytes (the actual NumPy array sizes of
+    the scaled-down stand-in datasets); the pool charges
+    ``logical * scale`` against capacity so that occupancy matches what the
+    paper's full-size datasets would use (see DESIGN.md "Workload
+    scaling").
+    """
+
+    def __init__(self, capacity: int, scale: float = 1.0, owner: str = "GPU"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.scale = float(scale)
+        self.owner = owner
+        self._allocs: Dict[str, Allocation] = {}
+        self._in_use = 0  # scaled bytes
+        self._peak = 0
+        self.num_reallocs = 0
+
+    # -- accounting ------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Scaled bytes currently allocated."""
+        return self._in_use
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of scaled bytes."""
+        return self._peak
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self._in_use
+
+    def scaled(self, logical_nbytes: int) -> int:
+        return int(logical_nbytes * self.scale)
+
+    # -- operations ------------------------------------------------------
+    def alloc(self, name: str, nbytes: int) -> Allocation:
+        """Allocate ``nbytes`` logical bytes under ``name``."""
+        if name in self._allocs:
+            raise DeviceMemoryError(
+                f"{self.owner}: allocation {name!r} already exists"
+            )
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        charged = self.scaled(nbytes)
+        if self._in_use + charged > self.capacity:
+            raise DeviceMemoryError(
+                f"{self.owner}: out of memory allocating {name!r} "
+                f"({charged / 2**30:.2f} GiB scaled; "
+                f"{self.free_bytes / 2**30:.2f} GiB free of "
+                f"{self.capacity / 2**30:.2f} GiB)"
+            )
+        a = Allocation(name, nbytes)
+        self._allocs[name] = a
+        self._in_use += charged
+        self._peak = max(self._peak, self._in_use)
+        return a
+
+    def free(self, name: str) -> None:
+        a = self._allocs.pop(name, None)
+        if a is None:
+            raise DeviceMemoryError(f"{self.owner}: no allocation {name!r}")
+        self._in_use -= self.scaled(a.nbytes)
+
+    def realloc(self, name: str, nbytes: int, preserve: bool = True) -> Allocation:
+        """Resize an allocation (the expensive path of just-enough).
+
+        Counted in :attr:`num_reallocs`; the enactor charges device time
+        for it.  With ``preserve=True`` both the old and new buffers
+        transiently coexist (``cudaMalloc`` + copy + ``cudaFree``), so the
+        peak includes both.  Framework queues whose contents are
+        regenerated every iteration (advance output, frontier queues whose
+        size is known from the load-balancing scan *before* the producing
+        kernel runs) are resized with ``preserve=False`` —
+        ``cudaFree`` + ``cudaMalloc``, no transient double-occupancy.
+        """
+        if name not in self._allocs:
+            return self.alloc(name, nbytes)
+        old = self._allocs[name]
+        if preserve:
+            transient = self._in_use + self.scaled(nbytes)
+            if transient > self.capacity:
+                raise DeviceMemoryError(
+                    f"{self.owner}: out of memory reallocating {name!r}"
+                )
+            self._peak = max(self._peak, transient)
+            self._in_use = transient - self.scaled(old.nbytes)
+        else:
+            new_in_use = (
+                self._in_use - self.scaled(old.nbytes) + self.scaled(nbytes)
+            )
+            if new_in_use > self.capacity:
+                raise DeviceMemoryError(
+                    f"{self.owner}: out of memory reallocating {name!r}"
+                )
+            self._in_use = new_in_use
+            self._peak = max(self._peak, self._in_use)
+        self._allocs[name] = Allocation(name, nbytes)
+        self.num_reallocs += 1
+        return self._allocs[name]
+
+    def ensure(self, name: str, nbytes: int, preserve: bool = True) -> bool:
+        """Grow ``name`` to at least ``nbytes``; returns True if it grew."""
+        cur = self._allocs.get(name)
+        if cur is not None and cur.nbytes >= nbytes:
+            return False
+        self.realloc(name, nbytes, preserve=preserve)
+        return True
+
+    def size_of(self, name: str) -> Optional[int]:
+        a = self._allocs.get(name)
+        return None if a is None else a.nbytes
+
+    def reset_peak(self) -> None:
+        self._peak = self._in_use
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemoryPool({self.owner}, in_use={self._in_use / 2**30:.2f} GiB, "
+            f"peak={self._peak / 2**30:.2f} GiB)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Allocation schemes (Fig. 3)
+# ---------------------------------------------------------------------------
+
+
+class AllocationScheme:
+    """Policy that sizes the frontier and intermediate buffers.
+
+    ``frontier_capacity`` / ``intermediate_capacity`` return *item counts*
+    for the initial allocation, given the subgraph's |Vi| and |Ei|;
+    ``grows_on_demand`` says whether undersized buffers are reallocated
+    (just-enough) or are a hard failure; ``fused`` says whether the
+    advance+filter fusion removes the intermediate frontier.
+    """
+
+    name: str = "base"
+    grows_on_demand: bool = False
+    fused: bool = False
+
+    def frontier_capacity(self, num_vertices: int, num_edges: int) -> int:
+        raise NotImplementedError
+
+    def intermediate_capacity(self, num_vertices: int, num_edges: int) -> int:
+        raise NotImplementedError
+
+
+class JustEnough(AllocationScheme):
+    """Estimate small, reallocate when the exact output size demands it.
+
+    The initial estimate follows the paper: frontier buffers start at
+    O(|Vi|); the intermediate (advance output) buffer starts at a modest
+    multiple of |Vi| and grows to the true high-water mark, which
+    Gunrock's load-balancing scan can compute exactly before the kernel
+    runs.
+    """
+
+    name = "just-enough"
+    grows_on_demand = True
+
+    def __init__(self, slack: float = 1.1):
+        self.slack = slack
+
+    def frontier_capacity(self, num_vertices: int, num_edges: int) -> int:
+        return max(1, int(self.slack * num_vertices * 0.25))
+
+    def intermediate_capacity(self, num_vertices: int, num_edges: int) -> int:
+        return max(1, int(self.slack * num_vertices))
+
+
+class FixedPrealloc(AllocationScheme):
+    """Preallocate using sizing factors from previous runs of similar graphs."""
+
+    name = "fixed"
+
+    def __init__(self, frontier_factor: float = 2.0, edge_factor: float = 1.1):
+        self.frontier_factor = frontier_factor
+        self.edge_factor = edge_factor
+
+    def frontier_capacity(self, num_vertices: int, num_edges: int) -> int:
+        return max(1, int(self.frontier_factor * num_vertices))
+
+    def intermediate_capacity(self, num_vertices: int, num_edges: int) -> int:
+        return max(1, int(self.edge_factor * num_edges))
+
+
+class MaxAlloc(AllocationScheme):
+    """Worst-case allocation: size-|E| arrays "to handle any case".
+
+    Frontier queues can in the worst case hold one entry per edge (a
+    frontier with duplicates before filtering), so the truly-safe sizing
+    the paper describes allocates O(|E|) for them too — which is exactly
+    why it "artificially limits the size of the subgraph we can place
+    onto one GPU" (Section VI-B).
+    """
+
+    name = "max"
+
+    def frontier_capacity(self, num_vertices: int, num_edges: int) -> int:
+        return max(1, num_edges)
+
+    def intermediate_capacity(self, num_vertices: int, num_edges: int) -> int:
+        return max(1, num_edges)
+
+
+class PreallocFusion(AllocationScheme):
+    """Fixed preallocation plus advance+filter kernel fusion.
+
+    Fusion eliminates the intermediate frontier buffer entirely
+    (Section VI-C), so only O(|Vi|) frontier queues remain.  This is the
+    scheme the paper's (DO)BFS/SSSP/BC use.
+    """
+
+    name = "prealloc+fusion"
+    fused = True
+
+    def __init__(self, frontier_factor: float = 1.5):
+        self.frontier_factor = frontier_factor
+
+    def frontier_capacity(self, num_vertices: int, num_edges: int) -> int:
+        return max(1, int(self.frontier_factor * num_vertices))
+
+    def intermediate_capacity(self, num_vertices: int, num_edges: int) -> int:
+        return 0
+
+
+_SCHEMES = {
+    "just-enough": JustEnough,
+    "fixed": FixedPrealloc,
+    "max": MaxAlloc,
+    "prealloc+fusion": PreallocFusion,
+}
+
+
+def scheme_by_name(name: str) -> AllocationScheme:
+    """Instantiate an allocation scheme from its Fig. 3 label."""
+    try:
+        return _SCHEMES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown allocation scheme {name!r}; options: {sorted(_SCHEMES)}"
+        ) from None

@@ -1,0 +1,112 @@
+"""Core scalar types for vertex and edge identifiers.
+
+The paper (Section VII-D, Table V) evaluates both 32-bit and 64-bit vertex
+and edge IDs: 64-bit IDs double the bytes moved per edge and roughly halve
+BFS throughput.  To reproduce that experiment the whole library is
+parameterized on an :class:`IdConfig` that selects the NumPy dtypes used for
+vertex IDs (``VertexT``), edge IDs / offsets (``SizeT``) and per-edge values
+(``ValueT``).
+
+Every graph structure records the :class:`IdConfig` it was built with, and
+the simulator's cost model charges communication and memory traffic by the
+actual ``itemsize`` of these dtypes, which is what makes the Table V
+experiment fall out naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "IdConfig",
+    "ID32",
+    "ID64",
+    "ID32_V64E",
+    "ID32_F32",
+    "INVALID_VERTEX",
+    "invalid_vertex",
+]
+
+
+@dataclass(frozen=True)
+class IdConfig:
+    """Selects the integer widths used for vertex IDs and edge offsets.
+
+    Attributes
+    ----------
+    vertex_dtype:
+        dtype for vertex identifiers (``VertexT`` in the paper's code).
+    size_dtype:
+        dtype for edge identifiers and CSR offsets (``SizeT``).
+    value_dtype:
+        dtype for per-edge values (weights) and per-vertex floating data.
+    """
+
+    vertex_dtype: np.dtype
+    size_dtype: np.dtype
+    value_dtype: np.dtype = np.dtype(np.float64)
+
+    def __post_init__(self) -> None:
+        # dataclass(frozen=True) requires object.__setattr__ for normalization
+        object.__setattr__(self, "vertex_dtype", np.dtype(self.vertex_dtype))
+        object.__setattr__(self, "size_dtype", np.dtype(self.size_dtype))
+        object.__setattr__(self, "value_dtype", np.dtype(self.value_dtype))
+        for name in ("vertex_dtype", "size_dtype"):
+            dt = getattr(self, name)
+            if dt.kind not in "iu":
+                raise TypeError(f"{name} must be an integer dtype, got {dt}")
+
+    @property
+    def vertex_bytes(self) -> int:
+        """Bytes per vertex ID."""
+        return self.vertex_dtype.itemsize
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes per edge ID / CSR offset."""
+        return self.size_dtype.itemsize
+
+    @property
+    def value_bytes(self) -> int:
+        """Bytes per associated value."""
+        return self.value_dtype.itemsize
+
+    def max_vertex(self) -> int:
+        """Largest representable vertex ID (used as the invalid marker)."""
+        return int(np.iinfo(self.vertex_dtype).max)
+
+    def max_size(self) -> int:
+        """Largest representable edge count."""
+        return int(np.iinfo(self.size_dtype).max)
+
+    def describe(self) -> str:
+        return (
+            f"IdConfig(vertex={self.vertex_dtype.name}, "
+            f"size={self.size_dtype.name}, value={self.value_dtype.name})"
+        )
+
+
+#: 32-bit vertex and edge IDs — the paper's default configuration.
+ID32 = IdConfig(np.int32, np.int32)
+
+#: 64-bit vertex and edge IDs (Table V "64bit vID" row).
+ID64 = IdConfig(np.int64, np.int64)
+
+#: 32-bit vertex IDs with 64-bit edge IDs (Table V "64bit eID" row): needed
+#: once |E| exceeds 2^31 even though |V| still fits in 32 bits.
+ID32_V64E = IdConfig(np.int32, np.int64)
+
+#: 32-bit everything, including float32 edge values — what GPU SSSP
+#: actually stores (the paper's weights are integers in [0, 64]).
+ID32_F32 = IdConfig(np.int32, np.int32, np.float32)
+
+
+def invalid_vertex(ids: IdConfig) -> int:
+    """Sentinel vertex ID meaning "no vertex" (e.g. unset predecessor)."""
+    return ids.max_vertex()
+
+
+#: Invalid-vertex sentinel for the default :data:`ID32` configuration.
+INVALID_VERTEX = invalid_vertex(ID32)

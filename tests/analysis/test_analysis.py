@@ -1,0 +1,131 @@
+"""Analysis: GTEPS, BSP decomposition, Table I checks, scaling drivers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bsp import decompose, table1_check
+from repro.analysis.gteps import traversal_gteps, traversed_edges
+from repro.analysis.reporting import fmt, render_series, render_table
+from repro.analysis.scaling import (
+    geomean_speedups,
+    run_speedup_sweep,
+    strong_scaling,
+    weak_edge_scaling,
+    weak_vertex_scaling,
+)
+from repro.primitives import run_bfs, run_cc, run_pagerank
+from repro.sim.machine import Machine
+
+
+class TestGteps:
+    def test_traversed_edges_component_only(self, two_components_graph):
+        labels = np.array([0, 1, 1, -1, -1, -1])
+        # component {0,1,2} is a triangle: 6 directed slots
+        assert traversed_edges(two_components_graph, labels) == 6
+
+    def test_gteps_positive(self, small_rmat, machine2):
+        labels, metrics, _ = run_bfs(small_rmat, machine2, src=7)
+        assert traversal_gteps(small_rmat, labels, metrics) > 0
+
+    def test_gteps_zero_when_no_time(self, small_rmat):
+        from repro.sim.metrics import RunMetrics
+
+        m = RunMetrics(num_gpus=1)
+        assert traversal_gteps(small_rmat, np.zeros(1), m) == 0.0
+
+
+class TestBspDecompose:
+    def test_terms_sum_to_total(self, small_rmat, machine4):
+        _, metrics, _ = run_bfs(small_rmat, machine4, src=7)
+        terms = decompose(metrics)
+        s = terms.compute + terms.communicate + terms.synchronize
+        assert s <= metrics.elapsed * 1.001
+        assert terms.total == metrics.elapsed
+
+    def test_fractions_sum_below_one(self, small_rmat, machine4):
+        _, metrics, _ = run_bfs(small_rmat, machine4, src=7)
+        f = decompose(metrics).fractions()
+        assert 0.5 < sum(f.values()) <= 1.001
+
+    def test_single_gpu_no_comm(self, small_rmat):
+        _, metrics, _ = run_bfs(small_rmat, Machine(1, scale=64.0), src=7)
+        assert decompose(metrics).communicate == 0.0
+
+
+class TestTable1Check:
+    @pytest.mark.parametrize("prim", ["bfs", "dobfs", "sssp", "cc", "bc", "pr"])
+    def test_bounds_hold(self, prim, small_rmat, weighted_rmat, machine4):
+        from repro.primitives import RUNNERS
+
+        g = weighted_rmat if prim == "sssp" else small_rmat
+        runner = RUNNERS[prim]
+        if prim in ("bfs", "dobfs", "sssp", "bc"):
+            _, metrics, prob = runner(g, machine4, src=7)
+        else:
+            _, metrics, prob = runner(g, machine4)
+        row = table1_check(prim, g, prob.partition, metrics)
+        # measured work/communication stays within the asymptotic bound
+        assert row.w_ratio <= 2.5, f"{prim} W ratio {row.w_ratio}"
+        assert row.h_ratio <= 2.5, f"{prim} H ratio {row.h_ratio}"
+        assert row.c_ratio <= 2.5, f"{prim} C ratio {row.c_ratio}"
+
+    def test_unknown_primitive(self, small_rmat, machine2):
+        _, metrics, prob = run_bfs(small_rmat, machine2, src=7)
+        with pytest.raises(ValueError):
+            table1_check("apsp", small_rmat, prob.partition, metrics)
+
+
+class TestScalingDrivers:
+    def test_speedup_sweep_and_geomean(self):
+        pts = run_speedup_sweep(
+            "bfs", ["soc-LiveJournal1"], gpu_counts=(1, 2), src=3
+        )
+        assert len(pts) == 2
+        sp = geomean_speedups(pts)
+        assert sp[1] == pytest.approx(1.0)
+        assert sp[2] > 0.5
+
+    def test_strong_scaling_points(self):
+        pts = strong_scaling("bfs", gpu_counts=(1, 2), scale=9, edge_factor=8,
+                             machine_scale=64.0)
+        assert [p.num_gpus for p in pts] == [1, 2]
+        assert all(p.gteps > 0 for p in pts)
+
+    def test_weak_edge_grows_graph(self):
+        pts = weak_edge_scaling(
+            "bfs", gpu_counts=(1, 2), scale=9, edge_factor_per_gpu=4,
+            machine_scale=64.0,
+        )
+        assert pts[0].dataset != pts[1].dataset
+
+    def test_weak_vertex_requires_pow2(self):
+        with pytest.raises(ValueError):
+            weak_vertex_scaling("bfs", gpu_counts=(3,))
+
+    def test_weak_vertex_points(self):
+        pts = weak_vertex_scaling(
+            "bfs", gpu_counts=(1, 2), base_scale=9, edge_factor=4,
+            machine_scale=64.0,
+        )
+        assert len(pts) == 2
+
+
+class TestReporting:
+    def test_render_table_aligned(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # aligned
+
+    def test_render_table_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.startswith("T\n")
+
+    def test_render_series(self):
+        out = render_series("bfs", [1, 2], [1.0, 1.9])
+        assert "bfs:" in out and "2=1.900" in out
+
+    def test_fmt_special(self):
+        assert fmt(float("nan")) == "nan"
+        assert fmt(True) == "True"
+        assert "e" in fmt(1e-9)

@@ -1,0 +1,88 @@
+"""Timeline rendering and busy-fraction analysis."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    busy_fraction,
+    clear_timeline,
+    enable_timeline,
+    render_timeline,
+)
+from repro.core.enactor import Enactor
+from repro.primitives.bfs import BFSIteration, BFSProblem
+from repro.sim.machine import Machine
+
+
+class TestRendering:
+    def test_empty(self):
+        m = Machine(1, scale=1.0)
+        enable_timeline(m)
+        assert render_timeline(m) == "(empty timeline)"
+
+    def test_manual_ops_render(self):
+        m = Machine(1, scale=1.0)
+        enable_timeline(m)
+        m.gpus[0].compute.launch(1.0, label="k")
+        out = render_timeline(m, width=10)
+        assert "gpu0.compute" in out
+        assert "##########" in out  # fully busy
+        assert "gpu0.comm" in out
+        assert ".........." in out  # fully idle
+
+    def test_partial_busy_marker(self):
+        m = Machine(1, scale=1.0)
+        enable_timeline(m)
+        m.gpus[0].compute.launch(0.05)
+        m.gpus[0].comm.launch(1.0)
+        out = render_timeline(m, width=10)
+        compute_row = [l for l in out.splitlines() if "compute" in l][0]
+        assert "+" in compute_row or "#" in compute_row
+        assert "." in compute_row
+
+    def test_width_validation(self):
+        m = Machine(1, scale=1.0)
+        with pytest.raises(ValueError):
+            render_timeline(m, width=2)
+
+    def test_real_run(self, small_rmat):
+        m = Machine(2, scale=512.0)
+        enable_timeline(m)
+        prob = BFSProblem(small_rmat, m)
+        Enactor(prob, BFSIteration).enact(src=0)
+        out = render_timeline(m, width=60)
+        assert out.count("gpu") == 4  # 2 GPUs x 2 streams
+        assert "#" in out
+
+    def test_clear(self, small_rmat):
+        m = Machine(1, scale=1.0)
+        enable_timeline(m)
+        m.gpus[0].compute.launch(1.0)
+        clear_timeline(m)
+        assert render_timeline(m) == "(empty timeline)"
+
+
+class TestBusyFraction:
+    def test_fully_busy(self):
+        m = Machine(1, scale=1.0)
+        enable_timeline(m)
+        m.gpus[0].compute.launch(2.0)
+        assert busy_fraction(m)[0] == pytest.approx(1.0)
+
+    def test_idle_stream(self):
+        m = Machine(1, scale=1.0)
+        enable_timeline(m)
+        m.gpus[0].compute.launch(2.0)
+        assert busy_fraction(m, "comm")[0] == 0.0
+
+    def test_multi_gpu_real_run(self, small_rmat):
+        m = Machine(2, scale=512.0)
+        enable_timeline(m)
+        prob = BFSProblem(small_rmat, m)
+        Enactor(prob, BFSIteration).enact(src=0)
+        fracs = busy_fraction(m)
+        assert set(fracs) == {0, 1}
+        assert all(0 < f <= 1 for f in fracs.values())
+
+    def test_no_history(self):
+        m = Machine(1, scale=1.0)
+        assert busy_fraction(m)[0] == 0.0

@@ -1,0 +1,124 @@
+"""Result validators: accept correct outputs, catch corrupted ones."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validate import (
+    assert_valid,
+    validate_bfs,
+    validate_cc,
+    validate_pagerank,
+    validate_sssp,
+)
+from repro.baselines.reference import (
+    bfs_reference,
+    cc_reference,
+    pagerank_reference,
+    sssp_reference,
+)
+from repro.primitives import run_bfs, run_cc, run_pagerank, run_sssp
+
+
+class TestValidateBfs:
+    def test_accepts_correct(self, small_rmat, machine4):
+        labels, _, _ = run_bfs(small_rmat, machine4, src=3)
+        assert validate_bfs(small_rmat, 3, labels) == []
+
+    def test_accepts_disconnected(self, two_components_graph, machine2):
+        labels, _, _ = run_bfs(two_components_graph, machine2, src=0)
+        assert validate_bfs(two_components_graph, 0, labels) == []
+
+    def test_catches_wrong_source_level(self, small_rmat):
+        levels, _ = bfs_reference(small_rmat, 3)
+        levels[3] = 1
+        assert any("source" in p for p in validate_bfs(small_rmat, 3, levels))
+
+    def test_catches_level_gap(self, path_graph):
+        levels, _ = bfs_reference(path_graph, 0)
+        levels[5] = 9  # creates a >1 gap across edge (4,5)
+        assert validate_bfs(path_graph, 0, levels)
+
+    def test_catches_false_unreached(self, path_graph):
+        levels, _ = bfs_reference(path_graph, 0)
+        levels[9] = -1  # adjacent to reached 8
+        assert any("unreached" in p for p in validate_bfs(path_graph, 0, levels))
+
+    def test_catches_orphan(self, small_rmat):
+        levels, _ = bfs_reference(small_rmat, 3)
+        # promote some vertex deeper than all its neighbors allow
+        v = int(np.flatnonzero(levels == 1)[0])
+        levels[v] = int(levels.max()) + 0  # same max level but neighbors at 0
+        if levels[v] <= 1:
+            pytest.skip("graph too shallow for this corruption")
+        assert validate_bfs(small_rmat, 3, levels)
+
+    def test_catches_bad_shape(self, small_rmat):
+        assert validate_bfs(small_rmat, 0, np.zeros(3))
+
+
+class TestValidateSssp:
+    def test_accepts_correct(self, weighted_rmat, machine4):
+        dist, _, _ = run_sssp(weighted_rmat, machine4, src=3)
+        assert validate_sssp(weighted_rmat, 3, dist) == []
+
+    def test_catches_relaxable_edge(self, weighted_rmat):
+        dist, _ = sssp_reference(weighted_rmat, 3)
+        v = int(np.flatnonzero(np.isfinite(dist) & (dist > 0))[0])
+        dist[v] += 100.0
+        assert any("relax" in p for p in validate_sssp(weighted_rmat, 3, dist))
+
+    def test_catches_too_small_distance(self, weighted_rmat):
+        dist, _ = sssp_reference(weighted_rmat, 3)
+        v = int(np.flatnonzero(np.isfinite(dist) & (dist > 0))[-1])
+        dist[v] = dist[v] / 2
+        problems = validate_sssp(weighted_rmat, 3, dist)
+        assert problems  # either unsupported or relaxable downstream
+
+    def test_requires_weights(self, small_rmat):
+        assert validate_sssp(small_rmat, 0, np.zeros(small_rmat.num_vertices))
+
+
+class TestValidateCc:
+    def test_accepts_correct(self, two_components_graph, machine2):
+        comp, _, _ = run_cc(two_components_graph, machine2)
+        assert validate_cc(two_components_graph, comp) == []
+
+    def test_catches_split_edge(self, path_graph):
+        comp = cc_reference(path_graph)
+        comp[5:] = 5
+        assert any("spans" in p for p in validate_cc(path_graph, comp))
+
+    def test_catches_non_min_convention(self, two_components_graph):
+        comp = cc_reference(two_components_graph)
+        comp[comp == 3] = 4  # id 4 isn't the min member... and 4 is a member
+        problems = validate_cc(two_components_graph, comp)
+        assert any("smaller vertex" in p for p in problems)
+
+
+class TestValidatePagerank:
+    def test_accepts_correct(self, small_rmat, machine2):
+        ranks, _, _ = run_pagerank(small_rmat, machine2)
+        assert validate_pagerank(small_rmat, ranks) == []
+
+    def test_accepts_reference(self, small_social):
+        ranks = pagerank_reference(small_social)
+        assert validate_pagerank(small_social, ranks) == []
+
+    def test_catches_perturbed_rank(self, small_rmat):
+        ranks = pagerank_reference(small_rmat)
+        ranks[7] *= 3.0
+        assert validate_pagerank(small_rmat, ranks)
+
+    def test_catches_below_floor(self, small_rmat):
+        ranks = pagerank_reference(small_rmat)
+        ranks[0] = 0.0
+        assert any("floor" in p for p in validate_pagerank(small_rmat, ranks))
+
+
+class TestAssertValid:
+    def test_passes_on_empty(self):
+        assert_valid([])
+
+    def test_raises_with_details(self):
+        with pytest.raises(AssertionError, match="bad thing"):
+            assert_valid(["bad thing"])

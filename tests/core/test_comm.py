@@ -1,0 +1,127 @@
+"""Communication: split, package, broadcast, message sizing."""
+
+import numpy as np
+import pytest
+
+from repro.core.comm import (
+    Message,
+    make_broadcast_messages,
+    make_selective_messages,
+    split_frontier,
+)
+from repro.graph.build import from_edges
+from repro.partition import (
+    DUPLICATE_1HOP,
+    DUPLICATE_ALL,
+    build_subgraphs,
+)
+from repro.partition.base import PartitionResult
+from repro.types import ID32, ID64
+
+
+@pytest.fixture
+def split_setup():
+    g = from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+    pr = PartitionResult.from_assignment(np.array([0, 0, 1, 1, 2, 2]), 3)
+    subs = build_subgraphs(g, pr, DUPLICATE_ALL)
+    return g, pr, subs
+
+
+class TestSplit:
+    def test_local_remote_separation(self, split_setup):
+        g, pr, subs = split_setup
+        s0 = subs[0]
+        # frontier on GPU0 containing its own vertex 1, plus 2 (GPU1), 4 (GPU2)
+        local, remote, st = split_frontier(s0, np.array([1, 2, 4]))
+        assert local.tolist() == [1]
+        assert remote[1].tolist() == [2]
+        assert remote[2].tolist() == [4]
+        assert st.vertices_processed == 3
+
+    def test_all_local(self, split_setup):
+        _, _, subs = split_setup
+        local, remote, _ = split_frontier(subs[0], np.array([0, 1]))
+        assert local.tolist() == [0, 1]
+        assert remote == {}
+
+    def test_empty_frontier(self, split_setup):
+        _, _, subs = split_setup
+        local, remote, st = split_frontier(subs[0], np.array([], np.int64))
+        assert local.size == 0
+        assert remote == {}
+
+
+class TestSelectiveMessages:
+    def test_vertices_converted_to_host_ids(self):
+        g = from_edges(4, [(0, 2), (1, 3)])
+        pr = PartitionResult.from_assignment(np.array([0, 0, 1, 1]), 2)
+        subs = build_subgraphs(g, pr, DUPLICATE_1HOP)
+        s0 = subs[0]
+        # GPU0's proxies for globals {2,3} are locals {2,3}
+        local, remote, _ = split_frontier(s0, np.array([2, 3]))
+        msgs, _ = make_selective_messages(s0, remote, [], [])
+        (m,) = msgs
+        assert m.dst_gpu == 1
+        # on GPU1, globals {2,3} are locals {0,1}
+        assert sorted(m.vertices.tolist()) == [0, 1]
+
+    def test_associates_gathered(self, split_setup):
+        _, _, subs = split_setup
+        s0 = subs[0]
+        preds = np.arange(6) * 10
+        dist = np.arange(6) * 0.5
+        _, remote, _ = split_frontier(s0, np.array([2, 4]))
+        msgs, st = make_selective_messages(s0, remote, [preds], [dist])
+        by_dst = {m.dst_gpu: m for m in msgs}
+        assert by_dst[1].vertex_associates[0].tolist() == [20]
+        assert by_dst[2].value_associates[0].tolist() == [2.0]
+        assert st.vertices_processed == 2
+
+    def test_deterministic_peer_order(self, split_setup):
+        _, _, subs = split_setup
+        _, remote, _ = split_frontier(subs[0], np.array([4, 2]))
+        msgs, _ = make_selective_messages(subs[0], remote, [], [])
+        assert [m.dst_gpu for m in msgs] == [1, 2]
+
+
+class TestBroadcastMessages:
+    def test_one_message_per_peer(self, split_setup):
+        _, _, subs = split_setup
+        msgs, st = make_broadcast_messages(subs[0], np.array([0, 1]), 3, [], [])
+        assert len(msgs) == 2
+        assert {m.dst_gpu for m in msgs} == {1, 2}
+        for m in msgs:
+            assert m.vertices.tolist() == [0, 1]
+
+    def test_empty_frontier_messages_empty(self, split_setup):
+        _, _, subs = split_setup
+        msgs, st = make_broadcast_messages(
+            subs[0], np.array([], np.int64), 3, [], []
+        )
+        assert all(m.num_items == 0 for m in msgs)
+        assert st.launches == 0
+
+    def test_single_gpu_no_messages(self, split_setup):
+        _, _, subs = split_setup
+        msgs, _ = make_broadcast_messages(subs[0], np.array([0]), 1, [], [])
+        assert msgs == []
+
+
+class TestMessageSizing:
+    def test_nbytes_vertex_only(self):
+        m = Message(0, 1, np.arange(10))
+        assert m.nbytes(ID32) == 40
+        assert m.nbytes(ID64) == 80  # Table V: 64-bit IDs double the wire
+
+    def test_nbytes_with_associates(self):
+        m = Message(
+            0,
+            1,
+            np.arange(10),
+            vertex_associates=[np.arange(10)],
+            value_associates=[np.arange(10, dtype=np.float64)],
+        )
+        assert m.nbytes(ID32) == 10 * (4 + 4 + 8)
+
+    def test_num_items(self):
+        assert Message(0, 1, np.arange(7)).num_items == 7

@@ -1,0 +1,99 @@
+"""Build pipeline: cleanup recipe, weights, special graphs."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import (
+    add_random_weights,
+    build_csr,
+    from_edges,
+    line_graph_path,
+)
+from repro.graph.coo import CooGraph
+
+
+class TestBuildCsr:
+    def test_paper_recipe(self):
+        """Undirected, self-loops and duplicates removed (Section VII-A)."""
+        coo = CooGraph(
+            4,
+            np.array([0, 0, 0, 1, 2]),
+            np.array([1, 1, 0, 2, 2]),
+        )
+        g = build_csr(coo)
+        assert not g.directed
+        back = g.to_coo()
+        pairs = list(zip(back.src.tolist(), back.dst.tolist()))
+        assert len(pairs) == len(set(pairs))  # no dups
+        assert all(a != b for a, b in pairs)  # no loops
+
+    def test_directed_mode(self):
+        coo = CooGraph(3, np.array([0, 0]), np.array([1, 1]))
+        g = build_csr(coo, undirected=False)
+        assert g.directed
+        assert g.num_edges == 1  # dedup still applied
+
+    def test_keep_duplicates(self):
+        coo = CooGraph(3, np.array([0, 0]), np.array([1, 1]))
+        g = build_csr(coo, undirected=False, remove_duplicates=False)
+        assert g.num_edges == 2
+
+
+class TestFromEdges:
+    def test_accepts_list(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        assert g.num_edges == 4  # both directions
+
+    def test_accepts_array(self):
+        g = from_edges(3, np.array([[0, 1]]))
+        assert g.num_edges == 2
+
+    def test_empty_edges(self):
+        g = from_edges(4, [])
+        assert g.num_edges == 0
+        assert g.num_vertices == 4
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            from_edges(3, np.array([0, 1, 2]))
+
+
+class TestWeights:
+    def test_range(self):
+        g = add_random_weights(from_edges(50, [(i, i + 1) for i in range(49)]),
+                               0, 64, seed=1)
+        assert g.values.min() >= 0
+        assert g.values.max() < 64
+
+    def test_deterministic(self):
+        base = from_edges(10, [(i, i + 1) for i in range(9)])
+        a = add_random_weights(base, 1, 64, seed=5)
+        b = add_random_weights(base, 1, 64, seed=5)
+        assert np.array_equal(a.values, b.values)
+
+    def test_does_not_mutate_input(self):
+        base = from_edges(4, [(0, 1)])
+        add_random_weights(base, 1, 10)
+        assert base.values is None
+
+
+class TestLinePath:
+    def test_structure(self):
+        g = line_graph_path(6)
+        assert g.num_vertices == 6
+        assert g.num_edges == 10  # 5 undirected edges both directions
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbors(3).tolist() == [2, 4]
+
+    def test_minimal_iteration_workload(self):
+        """Each BFS level visits exactly one new vertex (Section V-B)."""
+        from repro.graph.properties import bfs_levels
+
+        g = line_graph_path(100)
+        levels = bfs_levels(g, 0)
+        counts = np.bincount(levels[levels >= 0])
+        assert np.all(counts == 1)
+
+    def test_tiny(self):
+        assert line_graph_path(1).num_edges == 0
+        assert line_graph_path(2).num_edges == 2

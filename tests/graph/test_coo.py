@@ -1,0 +1,121 @@
+"""CooGraph: construction, cleanup passes, symmetrization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.coo import CooGraph
+from repro.types import ID64
+
+
+def coo(n, pairs, values=None, **kw):
+    arr = np.asarray(pairs).reshape(-1, 2)
+    return CooGraph(n, arr[:, 0], arr[:, 1], values=values, **kw)
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = coo(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+
+    def test_empty(self):
+        g = CooGraph(5, np.empty(0, np.int64), np.empty(0, np.int64))
+        assert g.num_edges == 0
+        assert g.num_vertices == 5
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(GraphFormatError):
+            CooGraph(3, np.array([0, 1]), np.array([1]))
+
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(GraphFormatError):
+            coo(3, [(0, 3)])
+        with pytest.raises(GraphFormatError):
+            coo(3, [(-1, 0)])
+
+    def test_rejects_negative_vertex_count(self):
+        with pytest.raises(GraphFormatError):
+            CooGraph(-1, np.empty(0, np.int64), np.empty(0, np.int64))
+
+    def test_rejects_bad_values_length(self):
+        with pytest.raises(GraphFormatError):
+            coo(3, [(0, 1), (1, 2)], values=np.array([1.0]))
+
+    def test_dtypes_follow_id_config(self):
+        g = coo(3, [(0, 1)], ids=ID64)
+        assert g.src.dtype == np.int64
+        assert g.dst.dtype == np.int64
+
+
+class TestCleanup:
+    def test_remove_self_loops(self):
+        g = coo(3, [(0, 0), (0, 1), (1, 1), (1, 2)])
+        out = g.remove_self_loops()
+        assert out.num_edges == 2
+        assert not np.any(out.src == out.dst)
+
+    def test_remove_duplicates_keeps_first_value(self):
+        g = coo(3, [(0, 1), (0, 1), (1, 2)], values=np.array([5.0, 9.0, 2.0]))
+        out = g.remove_duplicates()
+        assert out.num_edges == 2
+        idx = np.flatnonzero((out.src == 0) & (out.dst == 1))
+        assert out.values[idx[0]] == 5.0
+
+    def test_remove_duplicates_preserves_order(self):
+        g = coo(4, [(2, 3), (0, 1), (2, 3), (1, 2)])
+        out = g.remove_duplicates()
+        assert list(zip(out.src.tolist(), out.dst.tolist())) == [
+            (2, 3),
+            (0, 1),
+            (1, 2),
+        ]
+
+    def test_remove_duplicates_empty(self):
+        g = coo(3, np.empty((0, 2), np.int64))
+        assert g.remove_duplicates().num_edges == 0
+
+
+class TestUndirected:
+    def test_both_directions_present(self):
+        g = coo(3, [(0, 1), (1, 2)]).to_undirected()
+        pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+        assert pairs == {(0, 1), (1, 0), (1, 2), (2, 1)}
+        assert not g.directed
+
+    def test_idempotent(self):
+        g = coo(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).to_undirected()
+        g2 = g.to_undirected()
+        assert g2.num_edges == g.num_edges
+
+    def test_drops_self_loops(self):
+        g = coo(3, [(0, 0), (0, 1)]).to_undirected()
+        assert g.num_edges == 2
+
+    def test_merges_antiparallel_edges(self):
+        g = coo(2, [(0, 1), (1, 0)]).to_undirected()
+        assert g.num_edges == 2  # one edge stored in both directions
+
+
+class TestTransforms:
+    def test_reverse(self):
+        g = coo(3, [(0, 1), (1, 2)])
+        r = g.reverse()
+        assert r.src.tolist() == [1, 2]
+        assert r.dst.tolist() == [0, 1]
+
+    def test_reverse_preserves_values(self):
+        g = coo(3, [(0, 1), (1, 2)], values=np.array([3.0, 4.0]))
+        assert g.reverse().values.tolist() == [3.0, 4.0]
+
+    def test_with_values(self):
+        g = coo(3, [(0, 1), (1, 2)])
+        w = g.with_values(np.array([1.5, 2.5]))
+        assert w.values.tolist() == [1.5, 2.5]
+        assert g.values is None  # original untouched
+
+    def test_copy_is_deep(self):
+        g = coo(3, [(0, 1)])
+        c = g.copy()
+        c.src[0] = 2
+        assert g.src[0] == 0

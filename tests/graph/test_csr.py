@@ -1,0 +1,139 @@
+"""CsrGraph: structure, validation, conversions, ID widths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.coo import CooGraph
+from repro.graph.csr import CsrGraph
+from repro.graph.build import from_edges
+from repro.types import ID32, ID64, ID32_V64E
+
+
+def coo_of(n, pairs, **kw):
+    arr = np.asarray(pairs).reshape(-1, 2)
+    return CooGraph(n, arr[:, 0], arr[:, 1], **kw)
+
+
+class TestFromCoo:
+    def test_adjacency(self):
+        g = CsrGraph.from_coo(coo_of(4, [(0, 1), (0, 2), (2, 3), (1, 3)]))
+        assert g.neighbors(0).tolist() == [1, 2]
+        assert g.neighbors(1).tolist() == [3]
+        assert g.neighbors(3).tolist() == []
+
+    def test_neighbors_sorted(self):
+        g = CsrGraph.from_coo(coo_of(4, [(0, 3), (0, 1), (0, 2)]))
+        assert g.neighbors(0).tolist() == [1, 2, 3]
+
+    def test_unsorted_mode_keeps_input_order(self):
+        g = CsrGraph.from_coo(
+            coo_of(4, [(0, 3), (0, 1), (0, 2)]), sort_neighbors=False
+        )
+        assert g.neighbors(0).tolist() == [3, 1, 2]
+
+    def test_values_follow_edges(self):
+        c = coo_of(3, [(0, 2), (0, 1)])
+        c = c.with_values(np.array([9.0, 4.0]))
+        g = CsrGraph.from_coo(c)
+        # neighbors sorted => (0,1) first with value 4
+        assert g.edge_values(0).tolist() == [4.0, 9.0]
+
+    def test_empty_graph(self):
+        g = CsrGraph.from_coo(coo_of(0, np.empty((0, 2), np.int64)))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_isolated_vertices(self):
+        g = CsrGraph.from_coo(coo_of(5, [(0, 1)]))
+        assert g.out_degree().tolist() == [1, 0, 0, 0, 0]
+
+
+class TestRoundTrip:
+    def test_coo_csr_coo(self):
+        pairs = [(0, 1), (1, 2), (2, 0), (2, 3), (0, 3)]
+        g = CsrGraph.from_coo(coo_of(4, pairs))
+        back = g.to_coo()
+        orig = sorted(pairs)
+        got = sorted(zip(back.src.tolist(), back.dst.tolist()))
+        assert got == orig
+
+
+class TestValidation:
+    def test_bad_offsets_length(self):
+        with pytest.raises(GraphFormatError):
+            CsrGraph(3, np.array([0, 1]), np.array([1]))
+
+    def test_decreasing_offsets(self):
+        with pytest.raises(GraphFormatError):
+            CsrGraph(2, np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_nonzero_first_offset(self):
+        with pytest.raises(GraphFormatError):
+            CsrGraph(2, np.array([1, 1, 2]), np.array([0, 1]))
+
+    def test_col_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            CsrGraph(2, np.array([0, 1, 2]), np.array([0, 5]))
+
+    def test_col_length_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            CsrGraph(2, np.array([0, 1, 2]), np.array([0, 1, 1]))
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = from_edges(4, [(0, 1), (0, 2), (0, 3)], undirected=False)
+        assert g.out_degree().tolist() == [3, 0, 0, 0]
+        assert g.out_degree(np.array([0])).tolist() == [3]
+
+    def test_average_degree(self):
+        g = from_edges(4, [(0, 1), (2, 3)], undirected=True)
+        assert g.average_degree() == pytest.approx(1.0)
+
+    def test_memory_bytes_counts_arrays(self):
+        g = from_edges(4, [(0, 1), (1, 2)], undirected=False)
+        expected = g.row_offsets.nbytes + g.col_indices.nbytes
+        assert g.memory_bytes() == expected
+
+
+class TestCsc:
+    def test_undirected_csc_is_self(self):
+        g = from_edges(4, [(0, 1), (1, 2)], undirected=True)
+        assert g.csc is g
+
+    def test_directed_csc_reverses(self):
+        g = from_edges(3, [(0, 1), (1, 2)], undirected=False)
+        csc = g.csc
+        assert csc.neighbors(1).tolist() == [0]
+        assert csc.neighbors(2).tolist() == [1]
+        assert csc.neighbors(0).tolist() == []
+
+    def test_csc_cached(self):
+        g = from_edges(3, [(0, 1)], undirected=False)
+        assert g.csc is g.csc
+
+
+class TestIdWidths:
+    def test_with_ids_converts_dtypes(self):
+        g = from_edges(4, [(0, 1), (1, 2)]).with_ids(ID64)
+        assert g.col_indices.dtype == np.int64
+        assert g.row_offsets.dtype == np.int64
+
+    def test_mixed_widths(self):
+        g = from_edges(4, [(0, 1)]).with_ids(ID32_V64E)
+        assert g.col_indices.dtype == np.int32
+        assert g.row_offsets.dtype == np.int64
+
+    def test_64bit_doubles_memory(self):
+        g32 = from_edges(64, [(i, (i + 1) % 64) for i in range(64)])
+        g64 = g32.with_ids(ID64)
+        assert g64.memory_bytes() == 2 * g32.memory_bytes()
+
+    def test_preserves_structure(self):
+        g32 = from_edges(5, [(0, 1), (1, 2), (3, 4)])
+        g64 = g32.with_ids(ID64)
+        assert np.array_equal(
+            g64.col_indices.astype(np.int64),
+            g32.col_indices.astype(np.int64),
+        )

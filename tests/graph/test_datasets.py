@@ -1,0 +1,140 @@
+"""Dataset registry: completeness vs the paper's Table II, family shapes."""
+
+import numpy as np
+import pytest
+
+from repro.graph import datasets
+from repro.graph.properties import degree_stats
+from repro.types import ID64
+
+TABLE_II = [
+    "soc-LiveJournal1",
+    "hollywood-2009",
+    "soc-orkut",
+    "soc-sinaweibo",
+    "soc-twitter-2010",
+    "indochina-2004",
+    "uk-2002",
+    "arabic-2005",
+    "uk-2005",
+    "webbase-2001",
+    "rmat_n20_512",
+    "rmat_n21_256",
+    "rmat_n22_128",
+    "rmat_n23_64",
+    "rmat_n24_32",
+    "rmat_n25_16",
+]
+
+COMPARISON_GRAPHS = [
+    "kron_n24_32",
+    "kron_n23_16",
+    "kron_n25_16",
+    "kron_n25_32",
+    "kron_n23_32",
+    "com-orkut",
+    "com-Friendster",
+    "coPapersCiteseer",
+    "twitter-mpi",
+    "twitter-rv",
+    "friendster",
+    "sk-2005",
+]
+
+
+class TestRegistry:
+    def test_every_table2_dataset_present(self):
+        for name in TABLE_II:
+            assert name in datasets.REGISTRY, name
+
+    def test_every_comparison_graph_present(self):
+        for name in COMPARISON_GRAPHS:
+            assert name in datasets.REGISTRY, name
+
+    def test_road_network_present(self):
+        assert "road-grid" in datasets.names("road")
+
+    def test_family_filter(self):
+        assert set(datasets.names("soc")) <= set(datasets.names())
+        for n in datasets.names("rmat"):
+            assert datasets.family_of(n) == "rmat"
+
+    def test_spec_lookup(self):
+        s = datasets.spec("soc-orkut")
+        assert s.paper_vertices == pytest.approx(3.00e6)
+        assert s.family == "soc"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            datasets.spec("no-such-graph")
+
+
+class TestLoading:
+    def test_load_caches(self):
+        a = datasets.load("soc-LiveJournal1")
+        b = datasets.load("soc-LiveJournal1")
+        assert a is b
+
+    def test_load_with_ids(self):
+        g = datasets.load("soc-LiveJournal1", ids=ID64)
+        assert g.col_indices.dtype == np.int64
+
+    @pytest.mark.parametrize("name", ["soc-orkut", "uk-2002", "rmat_n25_16"])
+    def test_nonempty_and_undirected(self, name):
+        g = datasets.load(name)
+        assert g.num_edges > 0
+        assert not g.directed
+
+    def test_soc_graphs_are_power_law(self):
+        assert degree_stats(datasets.load("soc-orkut")).is_power_law_like
+
+    def test_rmat_graphs_are_power_law(self):
+        assert degree_stats(datasets.load("rmat_n24_32")).is_power_law_like
+
+    def test_road_is_not_power_law(self):
+        assert not degree_stats(datasets.load("road-grid")).is_power_law_like
+
+    def test_edge_vertex_ratio_tracks_paper(self):
+        """Stand-ins should roughly preserve the original |E|/|V| regime."""
+        for name in ["soc-orkut", "rmat_n24_32", "uk-2002"]:
+            s = datasets.spec(name)
+            g = datasets.load(name)
+            paper_ratio = s.paper_edges / s.paper_vertices
+            ours = g.num_edges / g.num_vertices
+            assert ours == pytest.approx(paper_ratio, rel=1.0), name
+
+
+class TestMachineScale:
+    def test_scale_is_paper_ratio(self):
+        g = datasets.load("soc-orkut")
+        s = datasets.machine_scale("soc-orkut")
+        assert s == pytest.approx(3.00e6 / g.num_vertices)
+
+    def test_scales_are_large(self):
+        """Every stand-in is a substantial downscale (>= 2^6)."""
+        for name in TABLE_II:
+            assert datasets.machine_scale(name) >= 64, name
+
+
+class TestComparisonExtras:
+    def test_merrill_rmat_dataset(self):
+        """The B40C comparison graph uses Merrill's rmat parameters."""
+        g = datasets.load("rmat_2Mv_128Me")
+        assert g.num_edges > 0
+        s = datasets.spec("rmat_2Mv_128Me")
+        assert "Merrill" in s.notes
+
+    def test_road_grid_is_long_and_thin(self):
+        """The road stand-in must keep a high diameter (~paper's regime)."""
+        from repro.graph.properties import approximate_diameter
+
+        g = datasets.load("road-grid")
+        assert approximate_diameter(g, 2) > 400
+
+    def test_float32_values_config(self):
+        from repro.graph.build import add_random_weights
+        from repro.types import ID32_F32
+
+        g = datasets.load("soc-LiveJournal1", ids=ID32_F32)
+        gw = add_random_weights(g, 1, 64)
+        assert gw.values.dtype == np.float32

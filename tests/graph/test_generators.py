@@ -1,0 +1,156 @@
+"""Generators: determinism, family structure properties."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    MERRILL_RMAT,
+    PAPER_RMAT,
+    RmatParams,
+    generate_rmat,
+    generate_road,
+    generate_social,
+    generate_web,
+    rmat_coo,
+    road_coo,
+)
+from repro.graph.properties import (
+    approximate_diameter,
+    degree_stats,
+    largest_component_fraction,
+)
+
+
+class TestRmatParams:
+    def test_paper_params(self):
+        assert PAPER_RMAT.a == 0.57
+        assert (PAPER_RMAT.b, PAPER_RMAT.c, PAPER_RMAT.d) == (0.19, 0.19, 0.05)
+
+    def test_merrill_params(self):
+        assert MERRILL_RMAT.a == 0.45
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            RmatParams(0.5, 0.5, 0.5, 0.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RmatParams(1.2, -0.1, -0.05, -0.05)
+
+
+class TestRmat:
+    def test_sizes(self):
+        c = rmat_coo(8, 4, seed=1)
+        assert c.num_vertices == 256
+        assert c.num_edges == 1024
+
+    def test_deterministic(self):
+        a = rmat_coo(8, 4, seed=9)
+        b = rmat_coo(8, 4, seed=9)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dst, b.dst)
+
+    def test_seed_changes_graph(self):
+        a = rmat_coo(8, 4, seed=1)
+        b = rmat_coo(8, 4, seed=2)
+        assert not np.array_equal(a.src, b.src)
+
+    def test_power_law_degrees(self):
+        g = generate_rmat(11, 16, seed=1)
+        stats = degree_stats(g)
+        assert stats.is_power_law_like
+
+    def test_skew_follows_params(self):
+        # with a = 0.57 low-numbered vertices get most edges
+        c = rmat_coo(10, 16, seed=1)
+        low = int((c.src < 256).sum())
+        assert low > c.num_edges * 0.4
+
+    def test_undirected_output(self):
+        g = generate_rmat(8, 4, seed=1)
+        assert not g.directed
+        # symmetric adjacency
+        back = g.to_coo()
+        pairs = set(zip(back.src.tolist(), back.dst.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_zero_scale(self):
+        c = rmat_coo(0, 3)
+        assert c.num_vertices == 1
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            rmat_coo(-1, 3)
+
+    def test_low_diameter(self):
+        g = generate_rmat(11, 16, seed=1)
+        assert approximate_diameter(g, 4) <= 8
+
+
+class TestSocial:
+    def test_power_law(self):
+        g = generate_social(1024, 16, seed=3)
+        assert degree_stats(g).is_power_law_like
+
+    def test_giant_component(self):
+        g = generate_social(1024, 16, seed=3)
+        assert largest_component_fraction(g) > 0.9
+
+    def test_low_diameter(self):
+        g = generate_social(1024, 16, seed=3)
+        assert approximate_diameter(g, 4) <= 6
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            generate_social(100, 4, gamma=0.9)
+
+    def test_deterministic(self):
+        a = generate_social(256, 8, seed=5)
+        b = generate_social(256, 8, seed=5)
+        assert np.array_equal(a.col_indices, b.col_indices)
+
+
+class TestWeb:
+    def test_locality_beats_social(self):
+        """Web crawls have intra-host locality social graphs lack."""
+        from repro.partition import RandomPartitioner, MetisLikePartitioner
+        from repro.partition.border import edge_cut
+
+        web = generate_web(1024, 12, seed=11)
+        rand_cut = edge_cut(web, RandomPartitioner(0).partition(web, 4))
+        metis_cut = edge_cut(web, MetisLikePartitioner(0).partition(web, 4))
+        # a locality-seeking partitioner must find real structure here
+        assert metis_cut < rand_cut * 0.9
+
+    def test_deterministic(self):
+        a = generate_web(512, 8, seed=2)
+        b = generate_web(512, 8, seed=2)
+        assert np.array_equal(a.col_indices, b.col_indices)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generate_web(0, 8)
+
+
+class TestRoad:
+    def test_high_diameter(self):
+        g = generate_road(32, 32, seed=7)
+        rmat = generate_rmat(10, 8, seed=7)
+        assert approximate_diameter(g, 4) > 4 * approximate_diameter(rmat, 4)
+
+    def test_low_uniform_degree(self):
+        g = generate_road(32, 32, seed=7)
+        stats = degree_stats(g)
+        assert stats.mean < 5
+        assert stats.maximum <= 8
+        assert not stats.is_power_law_like
+
+    def test_grid_dimensions(self):
+        g = generate_road(10, 7, shortcut_fraction=0.0, delete_fraction=0.0)
+        assert g.num_vertices == 70
+        # interior grid edge count: 9*7 + 10*6 undirected, stored twice
+        assert g.num_edges == 2 * (9 * 7 + 10 * 6)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            road_coo(0, 5)

@@ -1,0 +1,176 @@
+"""Edge-list and MatrixMarket I/O round trips."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges
+from repro.graph.io import (
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path):
+        g = from_edges(5, [(0, 1), (1, 2), (3, 4)], undirected=False)
+        p = tmp_path / "g.el"
+        write_edge_list(g, p)
+        back = read_edge_list(p)
+        assert back.num_vertices == 5
+        got = sorted(zip(back.src.tolist(), back.dst.tolist()))
+        orig = sorted(zip(g.to_coo().src.tolist(), g.to_coo().dst.tolist()))
+        assert got == orig
+
+    def test_weighted_round_trip(self, tmp_path):
+        from repro.graph.build import add_random_weights
+
+        g = add_random_weights(
+            from_edges(4, [(0, 1), (2, 3)], undirected=False), 1, 10
+        )
+        p = tmp_path / "w.el"
+        write_edge_list(g, p)
+        back = read_edge_list(p, weighted=True)
+        assert back.values is not None
+        assert back.values.size == g.num_edges
+
+    def test_comments_skipped(self):
+        buf = io.StringIO("# header\n0 1\n# mid\n1 2\n")
+        g = read_edge_list(buf)
+        assert g.num_edges == 2
+
+    def test_explicit_vertex_count(self):
+        buf = io.StringIO("0 1\n")
+        g = read_edge_list(buf, num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_bad_line_raises(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("0\n"))
+
+    def test_missing_weight_raises(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("0 1\n"), weighted=True)
+
+    def test_empty_file(self):
+        g = read_edge_list(io.StringIO(""), num_vertices=3)
+        assert g.num_edges == 0
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, tmp_path):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)], undirected=False)
+        p = tmp_path / "g.mtx"
+        write_matrix_market(g, p)
+        back = read_matrix_market(p)
+        assert back.num_vertices == 4
+        assert back.num_edges == 3
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n"
+            "2 1\n"
+            "3 2\n"
+        )
+        g = read_matrix_market(io.StringIO(text))
+        pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+        assert pairs == {(1, 0), (0, 1), (2, 1), (1, 2)}
+
+    def test_symmetric_diagonal_not_doubled(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "2 2 2\n"
+            "1 1\n"
+            "2 1\n"
+        )
+        g = read_matrix_market(io.StringIO(text))
+        assert g.num_edges == 3  # (0,0) once, (1,0) and (0,1)
+
+    def test_real_values(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 2 3.5\n"
+        )
+        g = read_matrix_market(io.StringIO(text))
+        assert g.values.tolist() == [3.5]
+
+    def test_rejects_rectangular(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n"
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_rejects_missing_header(self):
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO("3 3 0\n"))
+
+    def test_rejects_complex_field(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n2 2 0\n"
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_comment_lines(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% a comment\n"
+            "2 2 1\n"
+            "1 2\n"
+        )
+        g = read_matrix_market(io.StringIO(text))
+        assert g.num_edges == 1
+
+
+class TestNpzFormat:
+    def test_round_trip_unweighted(self, tmp_path):
+        from repro.graph.binformat import load_npz, save_npz
+
+        g = from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        p = tmp_path / "g.npz"
+        save_npz(g, p)
+        back = load_npz(p)
+        assert back.num_vertices == g.num_vertices
+        assert np.array_equal(back.row_offsets, g.row_offsets)
+        assert np.array_equal(back.col_indices, g.col_indices)
+        assert back.directed == g.directed
+        assert back.values is None
+
+    def test_round_trip_weighted_and_ids(self, tmp_path):
+        from repro.graph.binformat import load_npz, save_npz
+        from repro.graph.build import add_random_weights
+        from repro.types import ID64
+
+        g = add_random_weights(
+            from_edges(5, [(0, 1), (1, 2)]), 1, 9
+        ).with_ids(ID64)
+        p = tmp_path / "g64.npz"
+        save_npz(g, p)
+        back = load_npz(p)
+        assert back.ids == g.ids
+        assert np.array_equal(back.values, g.values)
+
+    def test_version_check(self, tmp_path):
+        import numpy as np2
+        from repro.errors import GraphFormatError
+        from repro.graph.binformat import load_npz
+
+        p = tmp_path / "bad.npz"
+        np2.savez(p, format_version=np2.int64(99))
+        with pytest.raises(GraphFormatError):
+            load_npz(p)
+
+    def test_loaded_graph_runs(self, tmp_path, small_rmat, machine2):
+        from repro.baselines.reference import bfs_reference
+        from repro.graph.binformat import load_npz, save_npz
+        from repro.primitives import run_bfs
+
+        p = tmp_path / "rmat.npz"
+        save_npz(small_rmat, p)
+        g = load_npz(p)
+        ref, _ = bfs_reference(small_rmat, 3)
+        labels, _, _ = run_bfs(g, machine2, src=3)
+        assert np.array_equal(labels, ref)

@@ -1,0 +1,96 @@
+"""Graph property measurement: BFS levels, diameter, degree stats."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.graph.properties import (
+    approximate_diameter,
+    bfs_levels,
+    degree_stats,
+    largest_component_fraction,
+)
+
+
+class TestBfsLevels:
+    def test_path(self, path_graph):
+        levels = bfs_levels(path_graph, 0)
+        assert levels.tolist() == list(range(10))
+
+    def test_from_middle(self, path_graph):
+        levels = bfs_levels(path_graph, 5)
+        assert levels[0] == 5
+        assert levels[9] == 4
+
+    def test_star(self, star_graph):
+        levels = bfs_levels(star_graph, 0)
+        assert levels[0] == 0
+        assert np.all(levels[1:] == 1)
+
+    def test_disconnected(self, two_components_graph):
+        levels = bfs_levels(two_components_graph, 0)
+        assert np.all(levels[:3] >= 0)
+        assert np.all(levels[3:] == -1)
+
+    def test_matches_networkx(self, small_rmat):
+        nx = pytest.importorskip("networkx")
+        g = small_rmat
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_vertices))
+        back = g.to_coo()
+        G.add_edges_from(zip(back.src.tolist(), back.dst.tolist()))
+        ours = bfs_levels(g, 3)
+        theirs = nx.single_source_shortest_path_length(G, 3)
+        for v in range(g.num_vertices):
+            if v in theirs:
+                assert ours[v] == theirs[v]
+            else:
+                assert ours[v] == -1
+
+    def test_single_vertex(self):
+        g = from_edges(1, [])
+        assert bfs_levels(g, 0).tolist() == [0]
+
+
+class TestDiameter:
+    def test_path_diameter(self, path_graph):
+        # approximate diameter is a lower bound; with several sources the
+        # path's true diameter (9) is found from an endpoint
+        d = approximate_diameter(path_graph, num_sources=16, seed=1)
+        assert 5 <= d <= 9
+
+    def test_star_diameter(self, star_graph):
+        assert approximate_diameter(star_graph, 8) == 2
+
+    def test_empty(self):
+        g = from_edges(0, [])
+        assert approximate_diameter(g) == 0
+
+
+class TestComponents:
+    def test_connected(self, path_graph):
+        assert largest_component_fraction(path_graph) == 1.0
+
+    def test_two_components(self, two_components_graph):
+        assert largest_component_fraction(two_components_graph) == 0.5
+
+
+class TestDegreeStats:
+    def test_uniform(self, path_graph):
+        s = degree_stats(path_graph)
+        assert s.maximum == 2
+        assert not s.is_power_law_like
+
+    def test_star(self, star_graph):
+        s = degree_stats(star_graph)
+        assert s.maximum == 15
+        assert s.mean == pytest.approx(30 / 16)
+
+    def test_empty(self):
+        s = degree_stats(from_edges(0, []))
+        assert s.mean == 0.0
+        assert s.gini == 0.0
+
+    def test_gini_bounds(self, small_rmat):
+        s = degree_stats(small_rmat)
+        assert 0.0 <= s.gini <= 1.0

@@ -1,0 +1,86 @@
+"""Border sets and edge cuts — the Section V-C distinction."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.partition.base import PartitionResult
+from repro.partition.border import (
+    border_matrix,
+    border_stats,
+    edge_cut,
+)
+
+
+def pr_of(assignment, n):
+    return PartitionResult.from_assignment(np.asarray(assignment), n)
+
+
+class TestEdgeCut:
+    def test_no_cut_when_together(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        assert edge_cut(g, pr_of([0, 0, 1, 1], 2)) == 0
+
+    def test_full_cut(self):
+        g = from_edges(2, [(0, 1)])
+        assert edge_cut(g, pr_of([0, 1], 2)) == 2  # both directions
+
+    def test_single_gpu_zero(self, small_rmat):
+        assert edge_cut(small_rmat, pr_of([0] * small_rmat.num_vertices, 1)) == 0
+
+
+class TestBorderMatrix:
+    def test_simple_cross(self):
+        g = from_edges(3, [(0, 1), (0, 2)])
+        mat = border_matrix(g, pr_of([0, 1, 1], 2))
+        # GPU0 -> GPU1 reaches vertices {1, 2}; GPU1 -> GPU0 reaches {0}
+        assert mat[0, 1] == 2
+        assert mat[1, 0] == 1
+        assert mat[0, 0] == 0 and mat[1, 1] == 0
+
+    def test_multi_edges_count_once(self):
+        """The Section V-C point: several cut edges to the same remote
+        vertex transmit one value — the border counts vertices."""
+        g = from_edges(4, [(0, 3), (1, 3), (2, 3)])
+        mat = border_matrix(g, pr_of([0, 0, 0, 1], 2))
+        assert mat[0, 1] == 1  # vertex 3 only, despite 3 cut edges
+        assert edge_cut(g, pr_of([0, 0, 0, 1], 2)) == 6
+
+    def test_no_cross_edges(self):
+        g = from_edges(4, [(0, 1), (2, 3)])
+        mat = border_matrix(g, pr_of([0, 0, 1, 1], 2))
+        assert mat.sum() == 0
+
+    def test_diagonal_always_zero(self, small_rmat):
+        from repro.partition import RandomPartitioner
+
+        pr = RandomPartitioner(0).partition(small_rmat, 4)
+        mat = border_matrix(small_rmat, pr)
+        assert np.all(np.diag(mat) == 0)
+
+    def test_border_bounded_by_hosted(self, small_rmat):
+        """|B_{i,j}| can never exceed |L_j|."""
+        from repro.partition import RandomPartitioner
+
+        pr = RandomPartitioner(0).partition(small_rmat, 4)
+        mat = border_matrix(small_rmat, pr)
+        counts = pr.counts()
+        for j in range(4):
+            assert np.all(mat[:, j] <= counts[j])
+
+
+class TestBorderStats:
+    def test_fields(self, small_rmat):
+        from repro.partition import RandomPartitioner
+
+        pr = RandomPartitioner(0).partition(small_rmat, 4)
+        st = border_stats(small_rmat, pr)
+        assert st.total_border > 0
+        assert st.max_border <= st.total_border
+        assert st.edge_cut >= st.total_border  # cuts >= distinct border
+        assert st.load_imbalance >= 1.0
+
+    def test_imbalance_of_skewed(self):
+        g = from_edges(4, [(0, 1)])
+        st = border_stats(g, pr_of([0, 0, 0, 1], 2))
+        assert st.load_imbalance == pytest.approx(1.5)

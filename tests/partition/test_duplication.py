@@ -1,0 +1,144 @@
+"""Vertex duplication: duplicate-all and duplicate-1-hop subgraphs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.build import from_edges
+from repro.partition import (
+    DUPLICATE_1HOP,
+    DUPLICATE_ALL,
+    RandomPartitioner,
+    build_subgraphs,
+)
+from repro.partition.base import PartitionResult
+
+
+def pr_of(assignment, n):
+    return PartitionResult.from_assignment(np.asarray(assignment), n)
+
+
+@pytest.fixture
+def gpart(small_rmat):
+    return small_rmat, RandomPartitioner(0).partition(small_rmat, 4)
+
+
+class TestDuplicateAll:
+    def test_every_vertex_everywhere(self, gpart):
+        g, pr = gpart
+        subs = build_subgraphs(g, pr, DUPLICATE_ALL)
+        for s in subs:
+            assert s.num_vertices == g.num_vertices
+            assert np.array_equal(s.local_to_global, np.arange(g.num_vertices))
+            assert np.array_equal(s.host_local_id, np.arange(g.num_vertices))
+
+    def test_edges_partitioned_exactly(self, gpart):
+        g, pr = gpart
+        subs = build_subgraphs(g, pr, DUPLICATE_ALL)
+        assert sum(s.num_edges for s in subs) == g.num_edges
+
+    def test_remote_vertices_have_no_edges(self, gpart):
+        g, pr = gpart
+        subs = build_subgraphs(g, pr, DUPLICATE_ALL)
+        for s in subs:
+            deg = np.diff(s.csr.row_offsets)
+            remote = s.host_of_local != s.gpu_id
+            assert np.all(deg[remote] == 0)
+
+    def test_hosted_edges_match_original(self, gpart):
+        g, pr = gpart
+        subs = build_subgraphs(g, pr, DUPLICATE_ALL)
+        for s in subs:
+            hosted = np.flatnonzero(s.host_of_local == s.gpu_id)
+            for v in hosted[:20]:
+                assert np.array_equal(s.csr.neighbors(v), g.neighbors(v))
+
+    def test_values_travel(self, weighted_rmat):
+        pr = RandomPartitioner(0).partition(weighted_rmat, 2)
+        subs = build_subgraphs(weighted_rmat, pr, DUPLICATE_ALL)
+        for s in subs:
+            assert s.csr.values is not None
+            hosted = np.flatnonzero(s.host_of_local == s.gpu_id)
+            v = hosted[0]
+            assert np.array_equal(s.csr.edge_values(v), weighted_rmat.edge_values(v))
+
+
+class TestDuplicate1Hop:
+    def test_hosted_first_then_proxies(self, gpart):
+        g, pr = gpart
+        subs = build_subgraphs(g, pr, DUPLICATE_1HOP)
+        for s in subs:
+            assert np.all(s.host_of_local[: s.num_hosted] == s.gpu_id)
+            assert np.all(s.host_of_local[s.num_hosted:] != s.gpu_id)
+
+    def test_proxies_are_exactly_remote_neighbors(self):
+        g = from_edges(5, [(0, 1), (0, 2), (3, 4)])
+        pr = pr_of([0, 0, 1, 1, 1], 2)
+        subs = build_subgraphs(g, pr, DUPLICATE_1HOP)
+        s0 = subs[0]
+        # GPU0 hosts {0,1}; remote neighbor of those: {2}
+        assert s0.num_hosted == 2
+        assert s0.local_to_global.tolist() == [0, 1, 2]
+
+    def test_edge_count_partition(self, gpart):
+        g, pr = gpart
+        subs = build_subgraphs(g, pr, DUPLICATE_1HOP)
+        assert sum(s.num_edges for s in subs) == g.num_edges
+
+    def test_proxies_have_no_edges(self, gpart):
+        g, pr = gpart
+        for s in build_subgraphs(g, pr, DUPLICATE_1HOP):
+            deg = np.diff(s.csr.row_offsets)
+            assert np.all(deg[s.num_hosted:] == 0)
+
+    def test_memory_below_duplicate_all(self, gpart):
+        """Section III-C: duplicate-1-hop uses less memory."""
+        g, pr = gpart
+        mem_all = sum(
+            s.memory_bytes() for s in build_subgraphs(g, pr, DUPLICATE_ALL)
+        )
+        mem_1hop = sum(
+            s.memory_bytes() for s in build_subgraphs(g, pr, DUPLICATE_1HOP)
+        )
+        assert mem_1hop < mem_all
+
+    def test_adjacency_preserved_through_renumbering(self, gpart):
+        g, pr = gpart
+        subs = build_subgraphs(g, pr, DUPLICATE_1HOP)
+        for s in subs:
+            for lv in range(min(s.num_hosted, 10)):
+                gv = s.local_to_global[lv]
+                got = sorted(s.local_to_global[s.csr.neighbors(lv)].tolist())
+                assert got == sorted(g.neighbors(gv).tolist())
+
+    def test_host_local_id_is_conversion(self, gpart):
+        g, pr = gpart
+        subs = build_subgraphs(g, pr, DUPLICATE_1HOP)
+        for s in subs:
+            assert np.array_equal(
+                s.host_local_id, pr.conversion_table[s.local_to_global]
+            )
+
+    def test_is_hosted_mask(self, gpart):
+        g, pr = gpart
+        s = build_subgraphs(g, pr, DUPLICATE_1HOP)[0]
+        ids = np.arange(s.num_vertices)
+        assert np.array_equal(s.is_hosted(ids), s.hosted_mask())
+
+
+class TestValidation:
+    def test_unknown_strategy(self, gpart):
+        g, pr = gpart
+        with pytest.raises(PartitionError):
+            build_subgraphs(g, pr, "duplicate-2-hop")
+
+    def test_size_mismatch(self, small_rmat):
+        pr = pr_of([0, 1], 2)
+        with pytest.raises(PartitionError):
+            build_subgraphs(small_rmat, pr, DUPLICATE_ALL)
+
+    def test_single_gpu_complete(self, small_rmat):
+        pr = pr_of([0] * small_rmat.num_vertices, 1)
+        (s,) = build_subgraphs(small_rmat, pr, DUPLICATE_1HOP)
+        assert s.num_hosted == small_rmat.num_vertices
+        assert s.num_edges == small_rmat.num_edges

@@ -1,0 +1,151 @@
+"""Partitioners: tables, balance, locality behavior."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.build import from_edges
+from repro.partition import (
+    BiasedRandomPartitioner,
+    MetisLikePartitioner,
+    RandomPartitioner,
+    make_partitioner,
+)
+from repro.partition.base import PartitionResult
+from repro.partition.border import border_stats, edge_cut
+
+
+class TestPartitionResult:
+    def test_from_assignment_tables(self):
+        pr = PartitionResult.from_assignment(np.array([0, 1, 0, 1, 0]), 2)
+        assert pr.partition_table.tolist() == [0, 1, 0, 1, 0]
+        # conversion: contiguous local ids per GPU in global order
+        assert pr.conversion_table.tolist() == [0, 0, 1, 1, 2]
+        pr.validate()
+
+    def test_hosted_by(self):
+        pr = PartitionResult.from_assignment(np.array([0, 1, 0]), 2)
+        assert pr.hosted_by(0).tolist() == [0, 2]
+        assert pr.hosted_by(1).tolist() == [1]
+
+    def test_counts(self):
+        pr = PartitionResult.from_assignment(np.array([0, 1, 0, 2]), 3)
+        assert pr.counts().tolist() == [2, 1, 1]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PartitionError):
+            PartitionResult.from_assignment(np.array([0, 3]), 2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(PartitionError):
+            PartitionResult.from_assignment(np.zeros((2, 2), np.int32), 2)
+
+    def test_empty_partition_allowed(self):
+        pr = PartitionResult.from_assignment(np.zeros(4, np.int32), 3)
+        assert pr.counts().tolist() == [4, 0, 0]
+        pr.validate()
+
+
+@pytest.mark.parametrize(
+    "name", ["random", "biased-random", "metis"]
+)
+class TestAllPartitioners:
+    def test_valid_tables(self, name, small_rmat):
+        pr = make_partitioner(name).partition(small_rmat, 4)
+        pr.validate()
+        assert pr.num_vertices == small_rmat.num_vertices
+
+    def test_single_gpu_trivial(self, name, small_rmat):
+        pr = make_partitioner(name).partition(small_rmat, 1)
+        assert np.all(pr.partition_table == 0)
+
+    def test_deterministic(self, name, small_rmat):
+        a = make_partitioner(name, seed=3).partition(small_rmat, 4)
+        b = make_partitioner(name, seed=3).partition(small_rmat, 4)
+        assert np.array_equal(a.partition_table, b.partition_table)
+
+    def test_load_balance(self, name, small_rmat):
+        pr = make_partitioner(name).partition(small_rmat, 4)
+        stats = border_stats(small_rmat, pr)
+        assert stats.load_imbalance < 1.15
+
+    def test_all_gpus_used(self, name, small_rmat):
+        pr = make_partitioner(name).partition(small_rmat, 4)
+        assert np.all(pr.counts() > 0)
+
+    def test_rejects_zero_gpus(self, name, small_rmat):
+        with pytest.raises(PartitionError):
+            make_partitioner(name).partition(small_rmat, 0)
+
+
+class TestRandom:
+    def test_near_perfect_balance(self, small_rmat):
+        """Section V-C: random achieves excellent load balancing."""
+        pr = RandomPartitioner(0).partition(small_rmat, 3)
+        counts = pr.counts()
+        assert counts.max() - counts.min() <= 1
+
+
+class TestBiasedRandom:
+    def test_reduces_border_on_local_graph(self, small_web):
+        """Biased random should find some web-graph locality."""
+        rand = border_stats(
+            small_web, RandomPartitioner(0).partition(small_web, 4)
+        )
+        biased = border_stats(
+            small_web, BiasedRandomPartitioner(0).partition(small_web, 4)
+        )
+        assert biased.total_border <= rand.total_border * 1.02
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BiasedRandomPartitioner(bias=1.5)
+        with pytest.raises(ValueError):
+            BiasedRandomPartitioner(imbalance=0.5)
+
+
+class TestMetisLike:
+    def test_cuts_structured_graph_well(self):
+        """Two cliques joined by one edge must be split at the bridge."""
+        edges = []
+        for a in range(8):
+            for b in range(a + 1, 8):
+                edges.append((a, b))
+                edges.append((a + 8, b + 8))
+        edges.append((0, 8))
+        g = from_edges(16, edges)
+        pr = MetisLikePartitioner(seed=1).partition(g, 2)
+        assert edge_cut(g, pr) == 2  # the bridge, both directions
+
+    def test_beats_random_on_road(self, small_road):
+        rand_cut = edge_cut(
+            small_road, RandomPartitioner(0).partition(small_road, 4)
+        )
+        metis_cut = edge_cut(
+            small_road, MetisLikePartitioner(0).partition(small_road, 4)
+        )
+        assert metis_cut < rand_cut * 0.5
+
+    def test_marginal_on_power_law(self, small_rmat):
+        """Fig. 2's lesson: Metis wins little on power-law graphs."""
+        rand_cut = edge_cut(
+            small_rmat, RandomPartitioner(0).partition(small_rmat, 4)
+        )
+        metis_cut = edge_cut(
+            small_rmat, MetisLikePartitioner(0).partition(small_rmat, 4)
+        )
+        assert metis_cut > rand_cut * 0.5  # no dramatic win
+
+    def test_handles_disconnected(self, two_components_graph):
+        pr = MetisLikePartitioner(0).partition(two_components_graph, 2)
+        pr.validate()
+
+
+class TestFactory:
+    def test_aliases(self):
+        assert make_partitioner("biasrandom").name == "biased-random"
+        assert make_partitioner("biased_random").name == "biased-random"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_partitioner("spectral")

@@ -1,0 +1,163 @@
+"""BFS primitive: correctness, predecessors, Table I counters."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import bfs_reference
+from repro.core.enactor import Enactor
+from repro.graph.build import from_edges
+from repro.partition import (
+    DUPLICATE_1HOP,
+    BiasedRandomPartitioner,
+    MetisLikePartitioner,
+    RandomPartitioner,
+)
+from repro.primitives.bfs import BFSIteration, BFSProblem, run_bfs
+from repro.sim.machine import Machine
+
+
+class TestCorrectness:
+    def test_matches_reference_all_gpu_counts(self, small_rmat, any_machine):
+        ref, _ = bfs_reference(small_rmat, 7)
+        labels, _, _ = run_bfs(small_rmat, any_machine, src=7)
+        assert np.array_equal(labels, ref)
+
+    @pytest.mark.parametrize("family", ["small_social", "small_web", "small_road"])
+    def test_all_families(self, family, machine4, request):
+        g = request.getfixturevalue(family)
+        ref, _ = bfs_reference(g, 0)
+        labels, _, _ = run_bfs(g, machine4, src=0)
+        assert np.array_equal(labels, ref)
+
+    @pytest.mark.parametrize(
+        "partitioner",
+        [RandomPartitioner(5), BiasedRandomPartitioner(5), MetisLikePartitioner(5)],
+        ids=["random", "biased", "metis"],
+    )
+    def test_partitioner_independent(self, small_rmat, machine4, partitioner):
+        """Section V-C: correct regardless of the partitioner choice."""
+        ref, _ = bfs_reference(small_rmat, 3)
+        labels, _, _ = run_bfs(small_rmat, machine4, src=3, partitioner=partitioner)
+        assert np.array_equal(labels, ref)
+
+    def test_duplicate_1hop_strategy(self, small_rmat, machine4):
+        ref, _ = bfs_reference(small_rmat, 3)
+        prob = BFSProblem(small_rmat, machine4, duplication=DUPLICATE_1HOP)
+        Enactor(prob, BFSIteration).enact(src=3)
+        assert np.array_equal(prob.labels(), ref)
+
+    def test_disconnected_stays_unreached(self, two_components_graph, machine2):
+        labels, _, _ = run_bfs(two_components_graph, machine2, src=0)
+        assert np.all(labels[3:] == -1)
+        assert np.all(labels[:3] >= 0)
+
+    def test_different_sources(self, small_rmat, machine2):
+        for src in (0, 17, 100):
+            ref, _ = bfs_reference(small_rmat, src)
+            labels, _, _ = run_bfs(small_rmat, machine2, src=src)
+            assert np.array_equal(labels, ref)
+
+    def test_source_is_level_zero(self, small_rmat, machine2):
+        labels, _, _ = run_bfs(small_rmat, machine2, src=42)
+        assert labels[42] == 0
+
+
+class TestPredecessors:
+    def test_preds_form_valid_tree(self, small_rmat, machine4):
+        labels, _, prob = run_bfs(
+            small_rmat, machine4, src=3, mark_predecessors=True
+        )
+        preds = prob.predecessors()
+        ref, _ = bfs_reference(small_rmat, 3)
+        for v in range(small_rmat.num_vertices):
+            if ref[v] > 0:
+                p = preds[v]
+                assert p >= 0
+                # predecessor is one level up and adjacent
+                assert labels[p] == labels[v] - 1
+                assert v in small_rmat.neighbors(p)
+            elif v == 3:
+                assert preds[v] == -1
+
+    def test_preds_off_by_default(self, small_rmat, machine2):
+        _, _, prob = run_bfs(small_rmat, machine2, src=0)
+        assert prob.predecessors() is None
+
+    def test_num_associates_follows_flag(self, small_rmat, machine2):
+        p1 = BFSProblem(small_rmat, machine2, mark_predecessors=True)
+        assert p1.NUM_VERTEX_ASSOCIATES == 1
+        m = Machine(2, scale=1.0)
+        p0 = BFSProblem(small_rmat, m)
+        assert p0.NUM_VERTEX_ASSOCIATES == 0
+
+
+class TestCounters:
+    def test_w_equals_component_edges(self, small_rmat, machine2):
+        """Every edge of the reached component is visited exactly once
+        per direction: W == sum of reached vertices' degrees."""
+        ref, _ = bfs_reference(small_rmat, 7)
+        _, metrics, _ = run_bfs(small_rmat, machine2, src=7)
+        expected = int(small_rmat.out_degree()[ref >= 0].sum())
+        assert metrics.total_edges_visited == expected
+
+    def test_h_bounded_by_border(self, small_rmat, machine4):
+        """Table I: H = O(|B_i|) — each border vertex sent at most once."""
+        from repro.partition.border import border_matrix
+
+        prob = BFSProblem(small_rmat, machine4)
+        metrics = Enactor(prob, BFSIteration).enact(src=7)
+        border_total = border_matrix(small_rmat, prob.partition).sum()
+        assert metrics.total_items_sent <= border_total
+
+    def test_supersteps_near_eccentricity(self, small_rmat, machine2):
+        ref, _ = bfs_reference(small_rmat, 7)
+        _, metrics, _ = run_bfs(small_rmat, machine2, src=7)
+        ecc = int(ref.max())
+        # S is the eccentricity plus at most 2 (message drain + empty check)
+        assert ecc <= metrics.supersteps <= ecc + 2
+
+    def test_frontier_sizes_recorded(self, small_rmat, machine2):
+        _, metrics, _ = run_bfs(small_rmat, machine2, src=7)
+        assert metrics.iterations[0].frontier_size == 1
+
+
+class TestEdgeCases:
+    def test_isolated_source(self, machine2):
+        g = from_edges(4, [(1, 2)])
+        labels, metrics, _ = run_bfs(g, machine2, src=0)
+        assert labels[0] == 0
+        assert np.all(labels[1:] == -1)
+
+    def test_two_vertex_graph(self, machine2):
+        g = from_edges(2, [(0, 1)])
+        labels, _, _ = run_bfs(g, machine2, src=0)
+        assert labels.tolist() == [0, 1]
+
+    def test_star_completes_in_one_level(self, star_graph, machine4):
+        labels, metrics, _ = run_bfs(star_graph, machine4, src=0)
+        assert np.all(labels[1:] == 1)
+
+
+class TestBatchedSources:
+    """The Appendix A main loop: many sources, one partitioned problem."""
+
+    def test_batch_matches_individual_runs(self, small_rmat, machine2):
+        from repro.primitives.bfs import run_bfs_batch
+
+        sources = [0, 17, 99]
+        labels_list, metrics_list, prob = run_bfs_batch(
+            small_rmat, machine2, sources
+        )
+        assert len(labels_list) == 3
+        for src, labels in zip(sources, labels_list):
+            ref, _ = bfs_reference(small_rmat, src)
+            assert np.array_equal(labels, ref)
+        # each traversal reports its own metrics
+        assert all(m.elapsed > 0 for m in metrics_list)
+
+    def test_partitioning_happens_once(self, small_rmat, machine2):
+        from repro.primitives.bfs import run_bfs_batch
+
+        _, _, prob = run_bfs_batch(small_rmat, machine2, [0, 1])
+        # one problem instance, one allocation prefix => one partition
+        assert prob.partition is not None

@@ -1,0 +1,86 @@
+"""CC: correctness vs union-find, min-ID convention, superstep counts."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import cc_reference
+from repro.graph.build import from_edges
+from repro.primitives.cc import run_cc
+from repro.sim.machine import Machine
+
+
+class TestCorrectness:
+    def test_matches_union_find_all_gpu_counts(self, small_rmat, any_machine):
+        ref = cc_reference(small_rmat)
+        comp, _, _ = run_cc(small_rmat, any_machine)
+        assert np.array_equal(comp, ref)
+
+    def test_two_components(self, two_components_graph, machine2):
+        comp, _, _ = run_cc(two_components_graph, machine2)
+        assert comp.tolist() == [0, 0, 0, 3, 3, 3]
+
+    def test_all_isolated(self, machine2):
+        g = from_edges(5, [])
+        comp, _, _ = run_cc(g, machine2)
+        assert comp.tolist() == list(range(5))
+
+    def test_single_component(self, path_graph, machine4):
+        comp, _, _ = run_cc(path_graph, machine4)
+        assert np.all(comp == 0)
+
+    def test_matches_networkx(self, small_social, machine4):
+        nx = pytest.importorskip("networkx")
+        g = small_social
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_vertices))
+        coo = g.to_coo()
+        G.add_edges_from(zip(coo.src.tolist(), coo.dst.tolist()))
+        comp, _, _ = run_cc(g, machine4)
+        for cset in nx.connected_components(G):
+            ids = {int(comp[v]) for v in cset}
+            assert len(ids) == 1
+            assert min(cset) in ids  # min-vertex-ID convention
+
+    @pytest.mark.parametrize("family", ["small_web", "small_road"])
+    def test_families(self, family, machine4, request):
+        g = request.getfixturevalue(family)
+        assert np.array_equal(run_cc(g, machine4)[0], cc_reference(g))
+
+    def test_many_small_components(self, machine4):
+        # 20 disjoint triangles
+        edges = []
+        for k in range(20):
+            b = 3 * k
+            edges += [(b, b + 1), (b + 1, b + 2), (b + 2, b)]
+        g = from_edges(60, edges)
+        comp, _, _ = run_cc(g, machine4)
+        for k in range(20):
+            assert comp[3 * k : 3 * k + 3].tolist() == [3 * k] * 3
+
+
+class TestBehavior:
+    def test_few_supersteps(self, small_rmat, machine4):
+        """Table I: CC converges in 2-5 supersteps."""
+        _, metrics, _ = run_cc(small_rmat, machine4)
+        assert 2 <= metrics.supersteps <= 6
+
+    def test_single_gpu_two_supersteps(self, small_rmat):
+        _, metrics, _ = run_cc(small_rmat, Machine(1, scale=64.0))
+        assert metrics.supersteps == 2
+
+    def test_uses_broadcast(self, small_rmat, machine2):
+        from repro.primitives.cc import CCProblem
+
+        assert CCProblem(small_rmat, machine2).communication == "broadcast"
+
+    def test_component_ids_travel_as_vertex_associates(
+        self, small_rmat, machine2
+    ):
+        from repro.primitives.cc import CCProblem
+
+        assert CCProblem(small_rmat, machine2).NUM_VERTEX_ASSOCIATES == 1
+
+    def test_deterministic(self, small_rmat, machine4):
+        a, _, _ = run_cc(small_rmat, machine4)
+        b, _, _ = run_cc(small_rmat, machine4)
+        assert np.array_equal(a, b)

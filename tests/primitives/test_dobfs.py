@@ -1,0 +1,120 @@
+"""DOBFS: correctness, direction switching, edge skipping, broadcast."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import bfs_reference
+from repro.core.direction import BACKWARD, FORWARD
+from repro.core.enactor import Enactor
+from repro.primitives.dobfs import DOBFSIteration, DOBFSProblem, run_dobfs
+from repro.sim.machine import Machine
+
+
+class TestCorrectness:
+    def test_matches_reference_all_gpu_counts(self, small_rmat, any_machine):
+        ref, _ = bfs_reference(small_rmat, 7)
+        labels, _, _ = run_dobfs(small_rmat, any_machine, src=7)
+        assert np.array_equal(labels, ref)
+
+    @pytest.mark.parametrize("family", ["small_social", "small_web", "small_road"])
+    def test_all_families(self, family, machine4, request):
+        g = request.getfixturevalue(family)
+        ref, _ = bfs_reference(g, 0)
+        labels, _, _ = run_dobfs(g, machine4, src=0)
+        assert np.array_equal(labels, ref)
+
+    def test_agrees_with_plain_bfs(self, small_rmat, machine4):
+        from repro.primitives.bfs import run_bfs
+
+        b, _, _ = run_bfs(small_rmat, machine4, src=11)
+        d, _, _ = run_dobfs(small_rmat, machine4, src=11)
+        assert np.array_equal(b, d)
+
+    def test_disconnected(self, two_components_graph, machine2):
+        labels, _, _ = run_dobfs(two_components_graph, machine2, src=0)
+        assert np.all(labels[3:] == -1)
+
+    def test_thresholds_configurable(self, small_rmat, machine2):
+        # forcing pure-forward: never switch
+        ref, _ = bfs_reference(small_rmat, 7)
+        labels, m_fwd, _ = run_dobfs(
+            small_rmat, machine2, src=7, do_a=float("inf")
+        )
+        assert np.array_equal(labels, ref)
+        dirs = {r.direction for r in m_fwd.iterations}
+        assert dirs <= {FORWARD, ""}
+
+
+class TestDirectionBehavior:
+    def test_switches_to_backward_on_power_law(self, small_rmat):
+        """Social/rmat graphs trigger the pull switch (Section VI-A)."""
+        _, metrics, _ = run_dobfs(
+            small_rmat, Machine(1, scale=64.0), src=7
+        )
+        assert any(r.direction == BACKWARD for r in metrics.iterations)
+
+    def test_edge_skipping_reduces_w(self, small_rmat, machine2):
+        """DOBFS visits far fewer edges than BFS (W = a|E|, a < 1)."""
+        from repro.primitives.bfs import run_bfs
+
+        _, m_bfs, _ = run_bfs(small_rmat, machine2, src=7)
+        _, m_dobfs, _ = run_dobfs(small_rmat, machine2, src=7)
+        assert m_dobfs.total_edges_visited < 0.5 * m_bfs.total_edges_visited
+
+    def test_road_network_mostly_forward(self, small_road, machine2):
+        """High-diameter, low-degree graphs don't profit from the pull:
+        the social-graph thresholds may briefly switch, but the
+        backward-to-forward rule recovers and most iterations push.
+        (The paper's Section VII-A: road networks are the bad case.)"""
+        _, metrics, _ = run_dobfs(small_road, machine2, src=0)
+        dirs = [r.direction for r in metrics.iterations]
+        assert dirs.count(BACKWARD) <= len(dirs) * 0.3
+
+    def test_road_network_forward_only_with_high_threshold(
+        self, small_road, machine2
+    ):
+        """Turning off the switch (do_a=inf) keeps pure-push on roads."""
+        _, metrics, _ = run_dobfs(
+            small_road, machine2, src=0, do_a=float("inf")
+        )
+        assert all(r.direction != BACKWARD for r in metrics.iterations)
+
+    def test_direction_consistent_across_gpus(self, small_rmat, machine4):
+        """Mirrored state must give every GPU the same decision."""
+        prob = DOBFSProblem(small_rmat, machine4)
+        Enactor(prob, DOBFSIteration).enact(src=7)
+        states = prob.directions
+        assert len({s.direction for s in states}) == 1
+        assert len({s.switched_to_backward for s in states}) == 1
+
+
+class TestCommunication:
+    def test_uses_broadcast(self, small_rmat):
+        prob = DOBFSProblem(small_rmat, Machine(2, scale=64.0))
+        assert prob.communication == "broadcast"
+
+    def test_h_scales_with_gpu_count(self, small_rmat):
+        """Table I: H = O((n-1)|V|) — broadcast traffic grows with n."""
+        h = {}
+        for n in (2, 4):
+            _, metrics, _ = run_dobfs(
+                small_rmat, Machine(n, scale=64.0), src=7
+            )
+            h[n] = metrics.total_items_sent
+        assert h[4] > 2 * h[2] * 0.8
+
+    def test_flat_scaling(self, small_rmat):
+        """DOBFS does not speed up with GPUs (communication-bound)."""
+        t1 = run_dobfs(small_rmat, Machine(1, scale=512.0), src=7)[1].elapsed
+        t4 = run_dobfs(small_rmat, Machine(4, scale=512.0), src=7)[1].elapsed
+        assert t4 > 0.7 * t1  # no real speedup
+
+    def test_preds_supported(self, small_rmat, machine2):
+        prob = DOBFSProblem(small_rmat, machine2, mark_predecessors=True)
+        Enactor(prob, DOBFSIteration).enact(src=7)
+        labels = prob.labels()
+        preds = prob.extract("preds")
+        ref, _ = bfs_reference(small_rmat, 7)
+        for v in np.flatnonzero(ref > 0)[:50]:
+            p = preds[v]
+            assert labels[p] == labels[v] - 1

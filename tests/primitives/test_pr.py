@@ -1,0 +1,168 @@
+"""PageRank: convergence, correctness, fixed border frontiers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import pagerank_reference
+from repro.core.enactor import Enactor
+from repro.graph.build import from_edges
+from repro.partition import DUPLICATE_1HOP
+from repro.primitives.pr import PRIteration, PRProblem, run_pagerank
+from repro.sim.machine import Machine
+
+
+class TestCorrectness:
+    def test_matches_reference_all_gpu_counts(self, small_rmat, any_machine):
+        ref = pagerank_reference(small_rmat)
+        ranks, _, _ = run_pagerank(small_rmat, any_machine)
+        assert np.allclose(ranks, ref, rtol=1e-6)
+
+    def test_duplicate_1hop_matches(self, small_rmat, machine4):
+        ref = pagerank_reference(small_rmat)
+        ranks, _, _ = run_pagerank(
+            small_rmat, machine4, duplication=DUPLICATE_1HOP
+        )
+        assert np.allclose(ranks, ref, rtol=1e-6)
+
+    def test_ring_is_uniform(self, machine2):
+        g = from_edges(8, [(i, (i + 1) % 8) for i in range(8)])
+        ranks, _, _ = run_pagerank(g, machine2)
+        assert np.allclose(ranks, ranks[0])
+
+    def test_hub_ranks_highest(self, star_graph, machine2):
+        ranks, _, _ = run_pagerank(star_graph, machine2)
+        assert np.argmax(ranks) == 0
+
+    def test_dangling_vertices(self, machine2):
+        """Isolated vertices keep the base rank and push nothing."""
+        g = from_edges(5, [(0, 1), (1, 2)])
+        ranks, _, _ = run_pagerank(g, machine2)
+        assert ranks[3] == pytest.approx(0.15)
+        assert ranks[4] == pytest.approx(0.15)
+
+    def test_damping_parameter(self, small_rmat, machine2):
+        ref = pagerank_reference(small_rmat, damping=0.5)
+        ranks, _, _ = run_pagerank(small_rmat, machine2, damping=0.5)
+        assert np.allclose(ranks, ref, rtol=1e-6)
+
+    def test_matches_networkx_ordering(self, small_social, machine2):
+        nx = pytest.importorskip("networkx")
+        g = small_social
+        G = nx.Graph()
+        G.add_nodes_from(range(g.num_vertices))
+        coo = g.to_coo()
+        G.add_edges_from(zip(coo.src.tolist(), coo.dst.tolist()))
+        theirs = nx.pagerank(G, alpha=0.85)
+        ours, _, _ = run_pagerank(g, machine2)
+        top_ours = np.argsort(-ours)[:10]
+        top_theirs = sorted(theirs, key=theirs.get, reverse=True)[:10]
+        assert len(set(top_ours.tolist()) & set(top_theirs)) >= 7
+
+
+class TestConvergence:
+    def test_threshold_controls_iterations(self, small_rmat, machine2):
+        _, loose, _ = run_pagerank(small_rmat, machine2, threshold=1e-2)
+        _, tight, _ = run_pagerank(small_rmat, machine2, threshold=1e-8)
+        assert tight.supersteps > loose.supersteps
+
+    def test_max_iter_cap(self, small_rmat, machine2):
+        _, metrics, _ = run_pagerank(
+            small_rmat, machine2, threshold=0.0, max_iter=5
+        )
+        assert metrics.supersteps <= 6
+
+    def test_iteration_count_gpu_independent(self, small_rmat):
+        """The BSP algorithm converges identically at any GPU count."""
+        s = {
+            n: run_pagerank(small_rmat, Machine(n, scale=64.0))[1].supersteps
+            for n in (1, 2, 4)
+        }
+        assert s[1] == s[2] == s[4]
+
+
+class TestBorderFrontiers:
+    def test_fixed_sub_frontiers_precomputed(self, small_rmat, machine4):
+        """Algorithm 3: sub-frontiers are computed at init and reused."""
+        prob = PRProblem(small_rmat, machine4)
+        assert len(prob.border_frontiers) == 4
+        for g, border in enumerate(prob.border_frontiers):
+            sub = prob.subgraphs[g]
+            # every border vertex is remote and locally referenced
+            assert np.all(sub.host_of_local[border] != g)
+
+    def test_h_items_equal_border_per_iteration(self, small_rmat, machine4):
+        """Table I: H = S * O(|Bi|)."""
+        prob = PRProblem(small_rmat, machine4)
+        metrics = Enactor(prob, PRIteration).enact()
+        total_border = sum(b.size for b in prob.border_frontiers)
+        per_iter = metrics.total_items_sent / metrics.supersteps
+        assert per_iter <= total_border
+
+    def test_single_gpu_no_border(self, small_rmat):
+        prob = PRProblem(small_rmat, Machine(1, scale=64.0))
+        assert prob.border_frontiers[0].size == 0
+
+
+class TestPersonalizedPagerank:
+    """The personalized-PR extension: teleport toward seed vertices."""
+
+    def _reference_ppr(self, g, teleport, damping=0.85, iters=300):
+        n = g.num_vertices
+        deg = g.out_degree().astype(np.float64)
+        src = np.repeat(np.arange(n, dtype=np.int64), deg.astype(np.int64))
+        dst = g.col_indices.astype(np.int64)
+        rank = (1 - damping) * teleport
+        for _ in range(iters):
+            push = np.zeros(n)
+            nz = deg > 0
+            push[nz] = damping * rank[nz] / deg[nz]
+            contrib = np.zeros(n)
+            np.add.at(contrib, dst, push[src])
+            rank = (1 - damping) * teleport + contrib
+        return rank
+
+    def test_matches_reference(self, small_rmat, machine2):
+        n = small_rmat.num_vertices
+        seeds = [3, 50]
+        teleport = np.zeros(n)
+        teleport[seeds] = 1.0
+        teleport *= n / teleport.sum()
+        ranks, _, _ = run_pagerank(
+            small_rmat, machine2, personalization=seeds, threshold=1e-10
+        )
+        ref = self._reference_ppr(small_rmat, teleport)
+        assert np.allclose(ranks, ref, rtol=1e-4)
+
+    def test_seed_neighborhood_boosted(self, small_rmat, machine2):
+        seed = 100
+        ppr, _, _ = run_pagerank(
+            small_rmat, machine2, personalization=[seed]
+        )
+        classic, _, _ = run_pagerank(small_rmat, machine2)
+        # relative to classic PR, the seed dominates in its own PPR
+        assert ppr[seed] / classic[seed] > 10
+
+    def test_explicit_distribution(self, small_rmat, machine2):
+        n = small_rmat.num_vertices
+        p = np.ones(n)
+        ranks_p, _, _ = run_pagerank(
+            small_rmat, machine2, personalization=p
+        )
+        ranks, _, _ = run_pagerank(small_rmat, machine2)
+        assert np.allclose(ranks_p, ranks)  # uniform == classic
+
+    def test_multi_gpu_agrees(self, small_rmat):
+        results = {}
+        for n in (1, 4):
+            results[n] = run_pagerank(
+                small_rmat, Machine(n, scale=64.0), personalization=[7]
+            )[0]
+        assert np.allclose(results[1], results[4], rtol=1e-9)
+
+    def test_zero_mass_rejected(self, small_rmat, machine2):
+        with pytest.raises(ValueError):
+            run_pagerank(
+                small_rmat,
+                machine2,
+                personalization=np.zeros(small_rmat.num_vertices),
+            )

@@ -1,0 +1,129 @@
+"""SSSP: correctness vs Dijkstra, duplicate-1-hop machinery, counters."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reference import sssp_reference
+from repro.core.enactor import Enactor
+from repro.errors import GraphFormatError
+from repro.graph.build import add_random_weights, from_edges
+from repro.partition import DUPLICATE_1HOP, DUPLICATE_ALL, MetisLikePartitioner
+from repro.primitives.sssp import SSSPIteration, SSSPProblem, run_sssp
+from repro.sim.machine import Machine
+
+
+class TestCorrectness:
+    def test_matches_dijkstra_all_gpu_counts(self, weighted_rmat, any_machine):
+        ref, _ = sssp_reference(weighted_rmat, 7)
+        dist, _, _ = run_sssp(weighted_rmat, any_machine, src=7)
+        assert np.allclose(dist, ref)
+
+    def test_matches_scipy(self, weighted_rmat, machine2):
+        sp = pytest.importorskip("scipy.sparse")
+        from scipy.sparse.csgraph import dijkstra
+
+        g = weighted_rmat
+        mat = sp.csr_matrix(
+            (g.values, g.col_indices, g.row_offsets),
+            shape=(g.num_vertices, g.num_vertices),
+        )
+        ref = dijkstra(mat, indices=7)
+        dist, _, _ = run_sssp(g, machine2, src=7)
+        assert np.allclose(dist, ref)
+
+    def test_weighted_path(self, machine2):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        # weights: make the long way around cheaper
+        w = np.zeros(g.num_edges)
+        coo = g.to_coo()
+        for i, (u, v) in enumerate(zip(coo.src, coo.dst)):
+            w[i] = 10.0 if {int(u), int(v)} == {0, 3} else 1.0
+        from repro.graph.csr import CsrGraph
+
+        gw = CsrGraph(4, g.row_offsets, g.col_indices, w, ids=g.ids,
+                      directed=False)
+        dist, _, _ = run_sssp(gw, machine2, src=0)
+        assert dist.tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_zero_weights_allowed(self, machine2):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        from repro.graph.csr import CsrGraph
+
+        gw = CsrGraph(3, g.row_offsets, g.col_indices,
+                      np.zeros(g.num_edges), ids=g.ids, directed=False)
+        dist, _, _ = run_sssp(gw, machine2, src=0)
+        assert dist.tolist() == [0.0, 0.0, 0.0]
+
+    def test_unreached_is_inf(self, machine2):
+        g = add_random_weights(
+            from_edges(4, [(0, 1)]), 1, 5
+        )
+        dist, _, _ = run_sssp(g, machine2, src=0)
+        assert np.isinf(dist[2]) and np.isinf(dist[3])
+
+    def test_rejects_unweighted(self, small_rmat, machine2):
+        with pytest.raises(GraphFormatError):
+            SSSPProblem(small_rmat, machine2)
+
+    def test_metis_partition(self, weighted_rmat, machine4):
+        ref, _ = sssp_reference(weighted_rmat, 3)
+        dist, _, _ = run_sssp(
+            weighted_rmat, machine4, src=3,
+            partitioner=MetisLikePartitioner(1),
+        )
+        assert np.allclose(dist, ref)
+
+
+class TestStrategies:
+    def test_uses_duplicate_1hop_by_default(self, weighted_rmat, machine2):
+        prob = SSSPProblem(weighted_rmat, machine2)
+        assert prob.duplication == DUPLICATE_1HOP
+        # slice arrays sized |V_i| < |V| (proxy savings)
+        assert (
+            prob.data_slices[0]["dist"].size
+            <= weighted_rmat.num_vertices
+        )
+
+    def test_duplicate_all_also_correct(self, weighted_rmat, machine4):
+        ref, _ = sssp_reference(weighted_rmat, 7)
+        prob = SSSPProblem(
+            weighted_rmat, machine4, duplication=DUPLICATE_ALL
+        )
+        Enactor(prob, SSSPIteration).enact(src=7)
+        assert np.allclose(prob.distances(), ref)
+
+    def test_preds_give_shortest_paths(self, weighted_rmat, machine4):
+        prob = SSSPProblem(weighted_rmat, machine4, mark_predecessors=True)
+        Enactor(prob, SSSPIteration).enact(src=7)
+        dist = prob.distances()
+        preds = prob.predecessors()
+        # walking the tree reproduces each distance
+        g = weighted_rmat
+        for v in np.flatnonzero(np.isfinite(dist))[:40]:
+            if v == 7:
+                continue
+            p = int(preds[v])
+            assert p >= 0
+            nbrs = g.neighbors(p)
+            w = g.edge_values(p)[np.flatnonzero(nbrs == v)[0]]
+            assert dist[v] == pytest.approx(dist[p] + w)
+
+
+class TestCounters:
+    def test_reentry_factor_b(self, weighted_rmat, machine2):
+        """Table I: W = O(b|Ei|); b is small but may exceed 1."""
+        _, metrics, _ = run_sssp(weighted_rmat, machine2, src=7)
+        b = metrics.total_edges_visited / weighted_rmat.num_edges
+        assert 0.5 < b < 6.0
+
+    def test_distance_travels_as_value(self, weighted_rmat, machine2):
+        prob = SSSPProblem(weighted_rmat, machine2)
+        assert prob.NUM_VALUE_ASSOCIATES == 1
+
+    def test_more_supersteps_than_bfs(self, weighted_rmat, machine2):
+        """S ~ b*D/2 >= BFS's D/2."""
+        from repro.primitives.bfs import run_bfs
+
+        _, m_bfs, _ = run_bfs(weighted_rmat, machine2, src=7)
+        _, m_sssp, _ = run_sssp(weighted_rmat, machine2, src=7)
+        assert m_sssp.supersteps >= m_bfs.supersteps

@@ -1,0 +1,173 @@
+"""Device specs, kernel cost model, machine barrier semantics."""
+
+import pytest
+
+from repro.sim.device import K40, K80_HALF, P100, VirtualGPU
+from repro.sim.kernel import KernelModel
+from repro.sim.machine import Machine, k40_node, k80_node, p100_node
+
+GB = 1024**3
+
+
+class TestDeviceSpecs:
+    def test_k40_constants(self):
+        assert K40.memory_bytes == 12 * GB
+        assert K40.mem_bandwidth == pytest.approx(288e9)
+        assert K40.kernel_launch_overhead == pytest.approx(3e-6)
+
+    def test_p100_faster_than_k40(self):
+        """Fig. 5's point: P100 computes ~2.5x faster, same interconnect."""
+        assert P100.mem_bandwidth > 2 * K40.mem_bandwidth
+        assert P100.memory_bytes == 16 * GB
+
+    def test_k80_half(self):
+        assert K80_HALF.memory_bytes == 12 * GB
+        assert K80_HALF.mem_bandwidth < K40.mem_bandwidth
+
+    def test_effective_bandwidth_regimes(self):
+        assert K40.effective_bandwidth(False) > K40.effective_bandwidth(True)
+
+
+class TestKernelModel:
+    def test_launch_overhead_floor(self):
+        km = KernelModel(K40, scale=1.0)
+        c = km.kernel_time(launches=1)
+        assert c.total == pytest.approx(3e-6)
+
+    def test_traffic_scales_linearly(self):
+        km = KernelModel(K40, scale=1.0)
+        a = km.kernel_time(streaming_bytes=1e6).traffic
+        b = km.kernel_time(streaming_bytes=2e6).traffic
+        assert b == pytest.approx(2 * a)
+
+    def test_scale_multiplies_traffic_not_launch(self):
+        k1 = KernelModel(K40, scale=1.0).kernel_time(streaming_bytes=1e6)
+        k4 = KernelModel(K40, scale=4.0).kernel_time(streaming_bytes=1e6)
+        assert k4.traffic == pytest.approx(4 * k1.traffic)
+        assert k4.launch == k1.launch
+
+    def test_random_slower_than_streaming(self):
+        km = KernelModel(K40, scale=1.0)
+        s = km.kernel_time(streaming_bytes=1e6).traffic
+        r = km.kernel_time(random_bytes=1e6).traffic
+        assert r > 2 * s
+
+    def test_atomics_cost(self):
+        km = KernelModel(K40, scale=1.0)
+        assert km.kernel_time(atomic_ops=1e6).traffic > 0
+
+    def test_memcpy_has_floor(self):
+        km = KernelModel(K40, scale=1.0)
+        assert km.memcpy_time(0) == pytest.approx(K40.kernel_launch_overhead)
+
+    def test_p100_faster_kernels(self):
+        a = KernelModel(K40, 1.0).kernel_time(random_bytes=1e7).traffic
+        b = KernelModel(P100, 1.0).kernel_time(random_bytes=1e7).traffic
+        assert b < a
+
+
+class TestVirtualGPU:
+    def test_create_has_streams_and_pool(self):
+        g = VirtualGPU.create(0, K40, scale=2.0)
+        assert set(g.streams) == {"compute", "comm"}
+        assert g.memory.capacity == K40.memory_bytes
+        assert g.memory.scale == 2.0
+
+    def test_busy_until_is_max(self):
+        g = VirtualGPU.create(0, K40, 1.0)
+        g.compute.launch(3.0)
+        g.comm.launch(5.0)
+        assert g.busy_until() == 5.0
+
+    def test_reset_time(self):
+        g = VirtualGPU.create(0, K40, 1.0)
+        g.compute.launch(3.0)
+        g.reset_time()
+        assert g.busy_until() == 0.0
+
+
+class TestMachine:
+    def test_factories(self):
+        assert k40_node(6).num_gpus == 6
+        assert k80_node().num_gpus == 8
+        assert p100_node().num_gpus == 4
+        assert p100_node().spec is P100
+
+    def test_barrier_advances_all_streams(self):
+        m = Machine(2, scale=1.0)
+        m.gpus[0].compute.launch(1.0)
+        t = m.barrier()
+        assert t >= 1.0
+        assert m.gpus[1].compute.available_at == t
+        assert m.clock.now == t
+
+    def test_barrier_adds_sync_latency(self):
+        m = Machine(4, scale=1.0)
+        m.gpus[0].compute.launch(1.0)
+        t = m.barrier()
+        assert t == pytest.approx(1.0 + m.interconnect.sync_latency(4))
+
+    def test_barrier_without_latency(self):
+        m = Machine(4, scale=1.0)
+        m.gpus[0].compute.launch(1.0)
+        assert m.barrier(extra_latency=False) == pytest.approx(1.0)
+
+    def test_single_gpu_barrier_free(self):
+        m = Machine(1, scale=1.0)
+        m.gpus[0].compute.launch(1.0)
+        assert m.barrier() == pytest.approx(1.0)
+
+    def test_reset(self):
+        m = Machine(2, scale=1.0)
+        m.gpus[0].compute.launch(1.0)
+        m.barrier()
+        m.reset()
+        assert m.clock.now == 0.0
+        assert m.gpus[0].compute.available_at == 0.0
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ValueError):
+            Machine(0)
+
+    def test_describe_mentions_spec(self):
+        assert "K40" in Machine(2).describe()
+
+
+class TestMultiNodeCluster:
+    def test_topology(self):
+        from repro.sim.machine import multi_node_cluster
+
+        m = multi_node_cluster(2, 4, scale=64.0)
+        assert m.num_gpus == 8
+        assert m.interconnect.link(0, 3).name == "pcie3-peer"
+        assert m.interconnect.link(3, 4).name == "infiniband"
+
+    def test_custom_link(self):
+        from repro.sim.interconnect import NVLINK
+        from repro.sim.machine import multi_node_cluster
+
+        m = multi_node_cluster(2, 2, inter_node_link=NVLINK, scale=64.0)
+        assert m.interconnect.link(1, 2) is NVLINK
+
+    def test_primitives_run_unchanged(self, small_rmat):
+        """The paper's generality claim: algorithms are topology-blind."""
+        import numpy as np
+
+        from repro.baselines.reference import bfs_reference
+        from repro.primitives import run_bfs
+        from repro.sim.machine import multi_node_cluster
+
+        m = multi_node_cluster(2, 2, scale=64.0)
+        labels, metrics, _ = run_bfs(small_rmat, m, src=3)
+        ref, _ = bfs_reference(small_rmat, 3)
+        assert np.array_equal(labels, ref)
+
+    def test_scale_out_slower_than_scale_up(self, small_rmat):
+        from repro.primitives import run_bfs
+        from repro.sim.machine import Machine, multi_node_cluster
+
+        up = Machine(4, scale=512.0, peer_group_size=4)
+        out = multi_node_cluster(2, 2, scale=512.0)
+        t_up = run_bfs(small_rmat, up, src=3)[1].elapsed
+        t_out = run_bfs(small_rmat, out, src=3)[1].elapsed
+        assert t_out >= t_up

@@ -1,0 +1,148 @@
+"""Memory pools and the Fig. 3 allocation schemes."""
+
+import pytest
+
+from repro.errors import DeviceMemoryError
+from repro.sim.memory import (
+    FixedPrealloc,
+    JustEnough,
+    MaxAlloc,
+    MemoryPool,
+    PreallocFusion,
+    scheme_by_name,
+)
+
+
+class TestMemoryPool:
+    def test_alloc_free_accounting(self):
+        p = MemoryPool(1000)
+        p.alloc("a", 400)
+        assert p.in_use == 400
+        p.free("a")
+        assert p.in_use == 0
+
+    def test_scale_multiplies_charge(self):
+        p = MemoryPool(10000, scale=4.0)
+        p.alloc("a", 100)
+        assert p.in_use == 400
+
+    def test_oom_raises(self):
+        p = MemoryPool(100)
+        with pytest.raises(DeviceMemoryError):
+            p.alloc("big", 200)
+
+    def test_oom_message_names_allocation(self):
+        p = MemoryPool(100)
+        with pytest.raises(DeviceMemoryError, match="big"):
+            p.alloc("big", 200)
+
+    def test_duplicate_name_rejected(self):
+        p = MemoryPool(1000)
+        p.alloc("a", 10)
+        with pytest.raises(DeviceMemoryError):
+            p.alloc("a", 10)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(DeviceMemoryError):
+            MemoryPool(100).free("nope")
+
+    def test_peak_tracks_high_water(self):
+        p = MemoryPool(1000)
+        p.alloc("a", 600)
+        p.free("a")
+        p.alloc("b", 100)
+        assert p.peak == 600
+        assert p.in_use == 100
+
+    def test_realloc_counts_transient(self):
+        """cudaMalloc+copy+free keeps both buffers alive transiently."""
+        p = MemoryPool(1000)
+        p.alloc("a", 400)
+        p.realloc("a", 500)
+        assert p.in_use == 500
+        assert p.peak == 900  # 400 + 500 transient
+        assert p.num_reallocs == 1
+
+    def test_realloc_oom_when_transient_exceeds(self):
+        p = MemoryPool(1000)
+        p.alloc("a", 600)
+        with pytest.raises(DeviceMemoryError):
+            p.realloc("a", 600)
+
+    def test_realloc_of_missing_allocates(self):
+        p = MemoryPool(1000)
+        p.realloc("a", 100)
+        assert p.size_of("a") == 100
+        assert p.num_reallocs == 0
+
+    def test_ensure_grows_only_when_needed(self):
+        p = MemoryPool(1000)
+        p.alloc("a", 100)
+        assert p.ensure("a", 50) is False
+        assert p.ensure("a", 150) is True
+        assert p.size_of("a") == 150
+
+    def test_reset_peak(self):
+        p = MemoryPool(1000)
+        p.alloc("a", 500)
+        p.free("a")
+        p.reset_peak()
+        assert p.peak == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryPool(0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            MemoryPool(10).alloc("a", -1)
+
+
+class TestSchemes:
+    V, E = 1000, 32000
+
+    def test_max_uses_edge_sized_intermediate(self):
+        s = MaxAlloc()
+        assert s.intermediate_capacity(self.V, self.E) == self.E
+
+    def test_fusion_has_no_intermediate(self):
+        s = PreallocFusion()
+        assert s.intermediate_capacity(self.V, self.E) == 0
+        assert s.fused
+
+    def test_just_enough_starts_small_and_grows(self):
+        s = JustEnough()
+        assert s.grows_on_demand
+        assert s.intermediate_capacity(self.V, self.E) < self.E
+
+    def test_fig3_memory_ordering(self):
+        """max > fixed > just-enough initial footprint (Fig. 3)."""
+        je = JustEnough()
+        fx = FixedPrealloc()
+        mx = MaxAlloc()
+
+        def footprint(s):
+            return 2 * s.frontier_capacity(self.V, self.E) + s.intermediate_capacity(
+                self.V, self.E
+            )
+
+        assert footprint(mx) > footprint(fx) > footprint(je)
+
+    def test_fixed_scales_with_edges(self):
+        s = FixedPrealloc()
+        assert s.intermediate_capacity(self.V, self.E) > s.intermediate_capacity(
+            self.V, self.E // 4
+        )
+
+    def test_scheme_by_name(self):
+        for name in ("just-enough", "fixed", "max", "prealloc+fusion"):
+            assert scheme_by_name(name).name == name
+
+    def test_scheme_by_name_unknown(self):
+        with pytest.raises(ValueError):
+            scheme_by_name("bogus")
+
+    def test_capacities_positive(self):
+        for name in ("just-enough", "fixed", "max", "prealloc+fusion"):
+            s = scheme_by_name(name)
+            assert s.frontier_capacity(1, 0) >= 1

@@ -1,0 +1,114 @@
+"""BSP counters and run metrics."""
+
+import pytest
+
+from repro.sim.metrics import IterationRecord, RunMetrics
+
+
+def make_metrics():
+    m = RunMetrics(num_gpus=2, primitive="bfs", dataset="toy", scale=4.0)
+    r0 = IterationRecord(0)
+    r0.edges_visited = {0: 100, 1: 50}
+    r0.items_sent = {0: 10}
+    r0.comm_compute_items = {1: 10}
+    r0.compute_time = {0: 2.0, 1: 1.0}
+    r0.comm_time = {0: 0.5, 1: 0.0}
+    r0.duration = 3.0
+    r1 = IterationRecord(1)
+    r1.edges_visited = {0: 30, 1: 20}
+    r1.items_sent = {1: 5}
+    r1.compute_time = {0: 1.0, 1: 1.5}
+    r1.comm_time = {0: 0.0, 1: 0.25}
+    r1.duration = 2.0
+    m.iterations = [r0, r1]
+    m.elapsed = 5.0
+    return m
+
+
+class TestAggregates:
+    def test_supersteps(self):
+        assert make_metrics().supersteps == 2
+
+    def test_total_edges(self):
+        assert make_metrics().total_edges_visited == 200
+
+    def test_total_items_sent(self):
+        assert make_metrics().total_items_sent == 15
+
+    def test_total_comm_compute(self):
+        assert make_metrics().total_comm_compute == 10
+
+    def test_max_compute_time_is_critical_path(self):
+        assert make_metrics().max_compute_time() == pytest.approx(3.5)
+
+    def test_max_comm_time(self):
+        assert make_metrics().max_comm_time() == pytest.approx(0.75)
+
+
+class TestGteps:
+    def test_uses_scaled_edges(self):
+        m = make_metrics()
+        # 200 edges * scale 4 / 5 s / 1e9
+        assert m.gteps() == pytest.approx(200 * 4 / 5 / 1e9)
+
+    def test_explicit_edge_count(self):
+        m = make_metrics()
+        assert m.gteps(1000) == pytest.approx(1000 * 4 / 5 / 1e9)
+
+    def test_zero_elapsed(self):
+        m = RunMetrics(num_gpus=1)
+        assert m.gteps() == 0.0
+
+    def test_mteps(self):
+        m = make_metrics()
+        assert m.millions_of_teps() == pytest.approx(m.gteps() * 1e3)
+
+
+class TestRecord:
+    def test_record_totals(self):
+        r = IterationRecord(0, edges_visited={0: 5, 1: 7}, items_sent={0: 2})
+        assert r.total_edges() == 12
+        assert r.total_items_sent() == 2
+
+    def test_summary_mentions_primitive(self):
+        assert "bfs" in make_metrics().summary()
+        assert "toy" in make_metrics().summary()
+
+
+class TestTraceExport:
+    def test_to_dict_round_trips_json(self, tmp_path):
+        import json
+
+        m = make_metrics()
+        d = m.to_dict()
+        assert d["supersteps"] == 2
+        assert d["total_edges_visited"] == 200
+        assert len(d["iterations"]) == 2
+        # JSON-serializable end to end
+        p = tmp_path / "trace.json"
+        m.save_json(p)
+        back = json.loads(p.read_text())
+        assert back["primitive"] == "bfs"
+        assert back["iterations"][0]["edges_visited"]["0"] == 100
+
+    def test_load_imbalance(self):
+        m = make_metrics()
+        # iter0: max 2.0 / mean 1.5; iter1: max 1.5 / mean 1.25
+        expected = ((2.0 / 1.5) + (1.5 / 1.25)) / 2
+        assert m.load_imbalance() == pytest.approx(expected)
+
+    def test_load_imbalance_empty(self):
+        from repro.sim.metrics import RunMetrics
+
+        assert RunMetrics(num_gpus=1).load_imbalance() == 1.0
+
+    def test_real_run_trace(self, small_rmat, tmp_path):
+        from repro.primitives import run_bfs
+        from repro.sim.machine import Machine
+
+        _, metrics, _ = run_bfs(small_rmat, Machine(2, scale=64.0), src=0)
+        d = metrics.to_dict()
+        assert d["num_gpus"] == 2
+        assert d["load_imbalance"] >= 1.0
+        metrics.save_json(tmp_path / "run.json")
+        assert (tmp_path / "run.json").stat().st_size > 100

@@ -1,0 +1,33 @@
+"""Every benchmark module compiles (syntax/import sanity without running)."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).parent.parent / "benchmarks"
+MODULES = sorted(BENCH_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", MODULES, ids=lambda p: p.name)
+def test_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+def test_one_bench_per_paper_artifact():
+    names = {p.stem for p in MODULES}
+    required = {
+        "test_table1_complexity",
+        "test_fig2_partitioners",
+        "test_fig3_memory",
+        "test_fig4_speedup",
+        "test_fig5_scaling",
+        "test_fig6_by_family",
+        "test_table3_incore",
+        "test_table4_outofcore",
+        "test_table5_large",
+        "test_sec5a_comm_volume",
+        "test_sec5b_sync_latency",
+        "test_sec6a_direction",
+    }
+    assert required <= names, required - names

@@ -1,0 +1,88 @@
+"""CLI: every command produces sane output and exit code 0."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestDatasets:
+    def test_lists_all(self):
+        code, text = run_cli("datasets")
+        assert code == 0
+        assert "soc-orkut" in text
+        assert "rmat_n24_32" in text
+        assert "road-grid" in text
+
+    def test_has_scale_column(self):
+        _, text = run_cli("datasets")
+        assert "scale" in text
+
+
+class TestRun:
+    @pytest.mark.parametrize("prim", ["bfs", "dobfs", "cc"])
+    def test_primitives(self, prim):
+        code, text = run_cli(
+            "run", prim, "--dataset", "soc-LiveJournal1", "--gpus", "2"
+        )
+        assert code == 0
+        assert prim in text
+        assert "BSP:" in text
+
+    def test_sssp_weights_auto(self):
+        code, text = run_cli(
+            "run", "sssp", "--dataset", "soc-LiveJournal1", "--gpus", "2"
+        )
+        assert code == 0
+
+    def test_gteps_reported_for_traversal(self):
+        _, text = run_cli(
+            "run", "bfs", "--dataset", "soc-LiveJournal1", "--gpus", "2"
+        )
+        assert "GTEPS" in text
+
+    def test_gpu_model_option(self):
+        code, _ = run_cli(
+            "run", "bfs", "--dataset", "soc-LiveJournal1",
+            "--gpus", "2", "--gpu-model", "p100",
+        )
+        assert code == 0
+
+    def test_metis_partitioner_option(self):
+        code, _ = run_cli(
+            "run", "bfs", "--dataset", "soc-LiveJournal1",
+            "--gpus", "2", "--partitioner", "metis",
+        )
+        assert code == 0
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "apsp")
+
+
+class TestPartition:
+    def test_compares_three(self):
+        code, text = run_cli(
+            "partition", "--dataset", "soc-LiveJournal1", "--gpus", "4"
+        )
+        assert code == 0
+        for name in ("random", "biased-random", "metis"):
+            assert name in text
+        assert "border" in text
+
+
+class TestSweep:
+    def test_speedup_table(self):
+        code, text = run_cli(
+            "sweep", "bfs", "--dataset", "soc-LiveJournal1", "--max-gpus", "2"
+        )
+        assert code == 0
+        assert "1.00x" in text
+        assert "speedup" in text

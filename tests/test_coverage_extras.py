@@ -1,0 +1,164 @@
+"""Deeper coverage: barrier overlap semantics, metis internals,
+validator acceptance properties, weighted I/O, sweep drivers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.validate import (
+    validate_bfs,
+    validate_cc,
+    validate_sssp,
+)
+from repro.baselines.reference import bfs_reference, cc_reference, sssp_reference
+from repro.graph.build import add_random_weights, build_csr, from_edges
+from repro.graph.coo import CooGraph
+from repro.sim.machine import Machine
+
+
+class TestBarrierComputeOnly:
+    def test_comm_stream_not_flushed(self):
+        m = Machine(2, scale=1.0)
+        m.gpus[0].compute.launch(1.0)
+        m.gpus[0].comm.launch(10.0)
+        t = m.barrier(compute_only=True)
+        assert t < 10.0
+        assert m.gpus[0].comm.available_at == 10.0
+        # compute streams all advanced to the barrier
+        assert m.gpus[1].compute.available_at == t
+
+    def test_full_barrier_flushes_comm(self):
+        m = Machine(2, scale=1.0)
+        m.gpus[0].comm.launch(10.0)
+        t = m.barrier(compute_only=False)
+        assert t >= 10.0
+
+    def test_clock_monotone_under_overlap(self):
+        m = Machine(2, scale=1.0)
+        m.gpus[0].comm.launch(10.0)
+        m.barrier(compute_only=True)
+        m.gpus[0].compute.launch(1.0)
+        t2 = m.barrier(compute_only=True)
+        assert t2 >= m.clock.now - 1e-12
+
+
+class TestMetisInternals:
+    def test_matching_is_symmetric(self, small_rmat):
+        from repro.partition.metis_like import (
+            _heavy_edge_matching,
+            _to_weighted_adj,
+        )
+
+        rng = np.random.default_rng(0)
+        adj = _to_weighted_adj(small_rmat)
+        match = _heavy_edge_matching(adj, rng)
+        for v in range(small_rmat.num_vertices):
+            assert match[match[v]] == v  # partner's partner is v
+
+    def test_matched_pairs_are_adjacent(self, small_rmat):
+        from repro.partition.metis_like import (
+            _heavy_edge_matching,
+            _to_weighted_adj,
+        )
+
+        rng = np.random.default_rng(0)
+        adj = _to_weighted_adj(small_rmat)
+        match = _heavy_edge_matching(adj, rng)
+        csr = adj
+        for v in range(small_rmat.num_vertices):
+            u = match[v]
+            if u != v:
+                assert u in csr.indices[csr.indptr[v]:csr.indptr[v + 1]]
+
+    def test_coarsen_preserves_vertex_weight(self, small_rmat):
+        from repro.partition.metis_like import (
+            _coarsen,
+            _heavy_edge_matching,
+            _to_weighted_adj,
+        )
+
+        rng = np.random.default_rng(0)
+        adj = _to_weighted_adj(small_rmat)
+        vwgt = np.ones(small_rmat.num_vertices)
+        match = _heavy_edge_matching(adj, rng)
+        coarse, cw, mapping = _coarsen(adj, vwgt, match)
+        assert cw.sum() == pytest.approx(vwgt.sum())
+        assert coarse.shape[0] < small_rmat.num_vertices
+        assert mapping.size == small_rmat.num_vertices
+
+    def test_coarsen_halves_roughly(self, small_rmat):
+        from repro.partition.metis_like import (
+            _coarsen,
+            _heavy_edge_matching,
+            _to_weighted_adj,
+        )
+
+        rng = np.random.default_rng(0)
+        adj = _to_weighted_adj(small_rmat)
+        vwgt = np.ones(small_rmat.num_vertices)
+        match = _heavy_edge_matching(adj, rng)
+        coarse, _, _ = _coarsen(adj, vwgt, match)
+        # hubs limit matching on power-law graphs; still >=15% shrink
+        assert coarse.shape[0] <= 0.85 * small_rmat.num_vertices
+
+
+@st.composite
+def _graphs(draw):
+    n = draw(st.integers(2, 20))
+    m = draw(st.integers(1, 50))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return build_csr(
+        CooGraph(n, np.asarray(src), np.asarray(dst)), undirected=True
+    )
+
+
+class TestValidatorsAcceptReference:
+    """Validators must accept every correct output (no false alarms)."""
+
+    @given(_graphs(), st.integers(0, 99))
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_reference_always_valid(self, g, seed):
+        src = seed % g.num_vertices
+        levels, _ = bfs_reference(g, src)
+        assert validate_bfs(g, src, levels) == []
+
+    @given(_graphs(), st.integers(0, 99))
+    @settings(max_examples=30, deadline=None)
+    def test_sssp_reference_always_valid(self, g, seed):
+        gw = add_random_weights(g, 1, 9, seed=seed)
+        src = seed % g.num_vertices
+        dist, _ = sssp_reference(gw, src)
+        assert validate_sssp(gw, src, dist) == []
+
+    @given(_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_cc_reference_always_valid(self, g):
+        assert validate_cc(g, cc_reference(g)) == []
+
+
+class TestWeightedIo:
+    def test_matrix_market_weighted_round_trip(self, tmp_path):
+        from repro.graph.io import read_matrix_market, write_matrix_market
+
+        g = add_random_weights(
+            from_edges(5, [(0, 1), (1, 2), (3, 4)], undirected=False), 1, 9
+        )
+        p = tmp_path / "w.mtx"
+        write_matrix_market(g, p)
+        back = read_matrix_market(p)
+        assert back.values is not None
+        assert sorted(back.values.tolist()) == sorted(g.values.tolist())
+
+
+class TestSweepDrivers:
+    def test_sweep_handles_every_primitive(self):
+        from repro.analysis.scaling import run_speedup_sweep
+
+        for prim in ("sssp", "cc", "bc", "pr"):
+            pts = run_speedup_sweep(
+                prim, ["soc-LiveJournal1"], gpu_counts=(1,), src=1
+            )
+            assert len(pts) == 1
+            assert pts[0].elapsed > 0
+            assert pts[0].gteps > 0

@@ -1,0 +1,193 @@
+"""End-to-end integration: the whole stack on every graph family.
+
+These tests run the complete pipeline — generator → cleanup → partition
+→ duplication → multi-GPU execution → extraction → reference check —
+the way a downstream user would, plus cross-primitive consistency checks
+(DOBFS vs BFS levels, SSSP with unit weights vs BFS, BC's depth vs BFS)
+and failure-injection scenarios (device OOM, the just-enough rescue).
+"""
+
+import numpy as np
+import pytest
+
+from repro import datasets
+from repro.baselines.reference import (
+    bc_reference,
+    bfs_reference,
+    cc_reference,
+    pagerank_reference,
+    sssp_reference,
+)
+from repro.core.enactor import Enactor
+from repro.errors import DeviceMemoryError
+from repro.graph.build import add_random_weights, from_edges
+from repro.graph.csr import CsrGraph
+from repro.partition import MetisLikePartitioner
+from repro.primitives import (
+    run_bc,
+    run_bfs,
+    run_cc,
+    run_dobfs,
+    run_pagerank,
+    run_sssp,
+)
+from repro.primitives.bc import run_full_bc
+from repro.primitives.bfs import BFSIteration, BFSProblem
+from repro.sim.device import DeviceSpec
+from repro.sim.machine import Machine
+from repro.sim.memory import JustEnough, MaxAlloc
+
+
+@pytest.mark.parametrize(
+    "dataset", ["soc-LiveJournal1", "indochina-2004", "rmat_n20_512"]
+)
+class TestFullPipeline:
+    """All six primitives, real Table II stand-ins, 3 GPUs."""
+
+    def _machine(self, dataset):
+        return Machine(3, scale=datasets.machine_scale(dataset))
+
+    def test_bfs(self, dataset):
+        g = datasets.load(dataset)
+        ref, _ = bfs_reference(g, 2)
+        labels, metrics, _ = run_bfs(g, self._machine(dataset), src=2)
+        assert np.array_equal(labels, ref)
+        assert metrics.elapsed > 0
+
+    def test_dobfs(self, dataset):
+        g = datasets.load(dataset)
+        ref, _ = bfs_reference(g, 2)
+        labels, _, _ = run_dobfs(g, self._machine(dataset), src=2)
+        assert np.array_equal(labels, ref)
+
+    def test_sssp(self, dataset):
+        g = add_random_weights(datasets.load(dataset), 1, 64, seed=4)
+        ref, _ = sssp_reference(g, 2)
+        dist, _, _ = run_sssp(g, self._machine(dataset), src=2)
+        assert np.allclose(dist, ref)
+
+    def test_cc(self, dataset):
+        g = datasets.load(dataset)
+        comp, _, _ = run_cc(g, self._machine(dataset))
+        assert np.array_equal(comp, cc_reference(g))
+
+    def test_bc(self, dataset):
+        g = datasets.load(dataset)
+        bc, _, _ = run_bc(g, self._machine(dataset), src=2)
+        assert np.allclose(bc, bc_reference(g, source=2), atol=1e-8)
+
+    def test_pr(self, dataset):
+        g = datasets.load(dataset)
+        ranks, _, _ = run_pagerank(g, self._machine(dataset))
+        assert np.allclose(ranks, pagerank_reference(g), rtol=1e-5)
+
+
+class TestCrossPrimitiveConsistency:
+    def test_dobfs_equals_bfs(self, small_rmat, machine4):
+        b, _, _ = run_bfs(small_rmat, machine4, src=9)
+        d, _, _ = run_dobfs(small_rmat, machine4, src=9)
+        assert np.array_equal(b, d)
+
+    def test_unit_weight_sssp_equals_bfs(self, small_rmat, machine4):
+        ones = CsrGraph(
+            small_rmat.num_vertices,
+            small_rmat.row_offsets,
+            small_rmat.col_indices,
+            np.ones(small_rmat.num_edges),
+            ids=small_rmat.ids,
+            directed=False,
+        )
+        dist, _, _ = run_sssp(ones, machine4, src=9)
+        levels, _, _ = run_bfs(small_rmat, machine4, src=9)
+        finite = np.isfinite(dist)
+        assert np.array_equal(dist[finite].astype(np.int64), levels[finite])
+        assert np.all(levels[~finite] == -1)
+
+    def test_bc_depths_equal_bfs_levels(self, small_rmat, machine2):
+        from repro.primitives.bc import BCIteration, BCProblem
+
+        prob = BCProblem(small_rmat, machine2)
+        Enactor(prob, BCIteration).enact(src=9)
+        levels, _, _ = run_bfs(small_rmat, machine2, src=9)
+        assert np.array_equal(prob.depths(), levels)
+
+    def test_cc_consistent_with_bfs_reachability(
+        self, two_components_graph, machine2
+    ):
+        comp, _, _ = run_cc(two_components_graph, machine2)
+        levels, _, _ = run_bfs(two_components_graph, machine2, src=0)
+        reached = levels >= 0
+        assert len(set(comp[reached].tolist())) == 1
+        assert set(comp[~reached]) != set(comp[reached])
+
+    def test_full_bc_matches_brandes_sum(self, machine2):
+        g = from_edges(12, [(0, 1), (1, 2), (2, 3), (3, 4), (1, 5),
+                            (5, 6), (6, 3), (4, 7), (7, 8), (8, 9),
+                            (9, 10), (10, 11), (2, 9)])
+        bc, metrics, _ = run_full_bc(g, machine2)
+        ref = bc_reference(g)
+        assert np.allclose(bc, ref, atol=1e-9)
+        assert metrics.elapsed > 0
+
+
+class TestFailureInjection:
+    def _tiny_device(self, mb: int) -> DeviceSpec:
+        return DeviceSpec("tiny", mb * 1024**2, 288e9)
+
+    def test_graph_too_big_raises_oom(self, small_rmat):
+        machine = Machine(1, spec=self._tiny_device(4), scale=64.0)
+        with pytest.raises(DeviceMemoryError):
+            BFSProblem(small_rmat, machine)
+
+    def test_just_enough_fits_where_max_cannot(self, small_rmat):
+        """Section VI-B's central claim: just-enough allocation lets a
+        subgraph fit on a GPU where worst-case allocation runs out."""
+        # capacity fits the subgraph+labels (~80 MB scaled) with room for
+        # just-enough's small queues, but not MaxAlloc's 3x|E| buffers
+        spec = self._tiny_device(160)
+        machine = Machine(1, spec=spec, scale=1024.0)
+        prob = BFSProblem(small_rmat, machine)
+        with pytest.raises(DeviceMemoryError):
+            Enactor(prob, BFSIteration, scheme=MaxAlloc())
+        prob.release()
+        # ...but just-enough runs to completion with correct results
+        machine2 = Machine(1, spec=spec, scale=1024.0)
+        prob2 = BFSProblem(small_rmat, machine2)
+        metrics = Enactor(prob2, BFSIteration, scheme=JustEnough()).enact(src=0)
+        ref, _ = bfs_reference(small_rmat, 0)
+        assert np.array_equal(prob2.labels(), ref)
+        assert metrics.elapsed > 0
+
+    def test_oom_error_is_actionable(self, small_rmat):
+        machine = Machine(1, spec=self._tiny_device(4), scale=64.0)
+        with pytest.raises(DeviceMemoryError, match="GiB"):
+            BFSProblem(small_rmat, machine)
+
+    def test_partitioner_crash_isolated(self, small_rmat, machine2):
+        class BrokenPartitioner:
+            name = "broken"
+
+            def partition(self, graph, num_gpus):
+                raise RuntimeError("synthetic partitioner failure")
+
+        with pytest.raises(RuntimeError, match="synthetic"):
+            BFSProblem(small_rmat, machine2, partitioner=BrokenPartitioner())
+
+
+class TestDeterminism:
+    """Everything is bit-reproducible run to run (DESIGN.md decision 5)."""
+
+    def test_metrics_identical_across_runs(self, small_rmat):
+        results = []
+        for _ in range(2):
+            m = Machine(3, scale=64.0)
+            labels, metrics, _ = run_bfs(small_rmat, m, src=3)
+            results.append((labels, metrics.elapsed, metrics.supersteps))
+        assert np.array_equal(results[0][0], results[1][0])
+        assert results[0][1] == results[1][1]
+        assert results[0][2] == results[1][2]
+
+    def test_metis_partition_deterministic(self, small_web):
+        a = MetisLikePartitioner(seed=7).partition(small_web, 4)
+        b = MetisLikePartitioner(seed=7).partition(small_web, 4)
+        assert np.array_equal(a.partition_table, b.partition_table)
