@@ -1,0 +1,114 @@
+"""The static lint pass: walk files, run rules, honor inline waivers.
+
+Waiver syntax (used sparingly, with a reason on the same line)::
+
+    labels[v] = x  # repro-check: disable=hot-loop -- fixpoint, not O(|E|)
+
+A waiver names one or more rules (by name or ID, comma-separated) and
+suppresses their findings on its own line; a comment-only waiver line
+suppresses them on the following line instead.  ``disable=all`` waives
+every rule at that location.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .findings import Finding
+from .rules import Rule, default_rules
+from .rules.base import ModuleContext
+
+__all__ = ["lint_paths", "lint_source", "iter_python_files"]
+
+_WAIVER_RE = re.compile(
+    r"#\s*repro-check:\s*disable=([A-Za-z0-9_,\- ]+)"
+)
+
+
+def _collect_waivers(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of waived rule names/IDs."""
+    waivers: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _WAIVER_RE.search(line)
+        if not m:
+            continue
+        rules = {
+            r.strip() for r in m.group(1).split(",") if r.strip()
+        }
+        target = lineno
+        if line.strip().startswith("#"):
+            target = lineno + 1  # comment-only waiver covers the next line
+        waivers.setdefault(target, set()).update(rules)
+    return waivers
+
+
+def _waived(finding: Finding, waivers: Dict[int, Set[str]]) -> bool:
+    names = waivers.get(finding.line)
+    if not names:
+        return False
+    return bool(
+        {"all", finding.rule, finding.rule_id} & names
+    )
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one source string; returns unwaived findings sorted by line."""
+    rules = list(rules) if rules is not None else default_rules()
+    try:
+        ctx = ModuleContext.parse(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id="REP000",
+                rule="parse-error",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"cannot parse module: {exc.msg}",
+            )
+        ]
+    waivers = _collect_waivers(source)
+    findings: List[Finding] = []
+    for rule in rules:
+        for f in rule.check(ctx):
+            if not _waived(f, waivers):
+                findings.append(f)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            out.extend(
+                f for f in sorted(path.rglob("*.py"))
+                if "__pycache__" not in f.parts
+            )
+        elif path.suffix == ".py":
+            out.append(path)
+        else:
+            raise FileNotFoundError(
+                f"{p}: not a Python file or directory"
+            )
+    return out
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint every ``.py`` file under the given paths."""
+    findings: List[Finding] = []
+    for f in iter_python_files(paths):
+        findings.extend(
+            lint_source(f.read_text(encoding="utf-8"), str(f), rules)
+        )
+    return findings

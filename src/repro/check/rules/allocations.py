@@ -1,0 +1,88 @@
+"""REP105 ``raw-alloc``: device arrays must go through the memory pool.
+
+The allocation-scheme experiments (Fig. 3) only mean something if every
+device-resident array is charged to the per-GPU
+:class:`~repro.sim.memory.MemoryPool`.  Persistent slice arrays must use
+``DataSlice.allocate`` (which charges the pool); O(|V|)-sized scratch
+created with raw ``np.empty``/``np.zeros`` inside iteration code is
+untracked device memory the peak-memory metrics never see.  The
+zero-length empty-frontier sentinel (``np.empty(0, ...)``) is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import CONTROL_HOOKS, ModuleContext, Rule
+
+__all__ = ["RawAllocationRule"]
+
+ALLOC_FUNCS = {"empty", "zeros", "ones", "full", "empty_like", "zeros_like",
+               "ones_like", "full_like"}
+
+
+def _is_raw_alloc(node: ast.AST) -> str:
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ALLOC_FUNCS
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in ("np", "numpy")
+    ):
+        return node.func.attr
+    return ""
+
+
+def _is_zero_size(call: ast.Call) -> bool:
+    if not call.args:
+        return False
+    first = call.args[0]
+    return isinstance(first, ast.Constant) and first.value == 0
+
+
+class RawAllocationRule(Rule):
+    """Flag raw numpy allocations in ``init_data_slice`` (must be
+    ``ds.allocate``) and non-sentinel allocations in hot-path methods."""
+
+    rule_id = "REP105"
+    name = "raw-alloc"
+    description = (
+        "array allocations in slice-init and iteration hot paths must be "
+        "charged to the device memory pool"
+    )
+
+    def _scan(self, ctx, cls, method, where) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            fname = _is_raw_alloc(node)
+            if not fname:
+                continue
+            if where == "hot" and _is_zero_size(node):
+                continue  # the empty-frontier sentinel allocates nothing
+            if where == "init":
+                msg = (
+                    f"np.{fname} in {cls.name}.{method.name}; persistent "
+                    "slice arrays must be created with ds.allocate so the "
+                    "device memory pool is charged"
+                )
+            else:
+                msg = (
+                    f"np.{fname} in hot path {cls.name}.{method.name} "
+                    "allocates untracked device memory; preallocate it in "
+                    "init_data_slice via ds.allocate"
+                )
+            yield self.finding(
+                ctx, node, msg, cls=cls.name, method=method.name,
+            )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for cls in ctx.problem_classes:
+            init = ctx.find_method(cls, "init_data_slice")
+            if init is not None:
+                yield from self._scan(ctx, cls, init, "init")
+        for cls in ctx.iteration_classes:
+            for method in ctx.methods(cls):
+                if method.name in CONTROL_HOOKS:
+                    continue
+                yield from self._scan(ctx, cls, method, "hot")

@@ -1,0 +1,134 @@
+"""REP102 ``undeclared-combiner``: communicated values must declare merge.
+
+Section III-B: the programmer specifies the data to communicate *and*
+how the receiver combines it.  A primitive that registers value
+associates (``NUM_VALUE_ASSOCIATES > 0``) without declaring combiners in
+``ProblemBase.combiners`` leaves the superstep-boundary merge semantics
+unspecified — exactly the silent-race class the BSP sanitizer exists to
+catch at runtime; this rule catches the missing declaration statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ..findings import Finding
+from .base import ModuleContext, Rule
+
+__all__ = ["UndeclaredCombinerRule"]
+
+
+def _positive_int_assign(node: ast.AST, name: str) -> Optional[int]:
+    """Return the value if ``node`` assigns a positive int constant to
+    ``name`` (class-level or ``self.``-qualified), else None."""
+    if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+        return None
+    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+    matched = False
+    for t in targets:
+        if isinstance(t, ast.Name) and t.id == name:
+            matched = True
+        if (
+            isinstance(t, ast.Attribute)
+            and t.attr == name
+            and isinstance(t.value, ast.Name)
+            and t.value.id == "self"
+        ):
+            matched = True
+    if not matched:
+        return None
+    value = node.value
+    if isinstance(value, ast.Constant) and isinstance(value.value, int):
+        return value.value if value.value > 0 else None
+    return None  # dynamic expression: statically undecidable, skip
+
+
+def _allocated_names(ctx: ModuleContext, cls: ast.ClassDef) -> List[str]:
+    """String literals passed as the first argument of ``.allocate`` calls
+    inside ``init_data_slice``."""
+    init = ctx.find_method(cls, "init_data_slice")
+    names: List[str] = []
+    if init is None:
+        return names
+    for node in ast.walk(init):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "allocate"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            names.append(node.args[0].value)
+    return names
+
+
+class UndeclaredCombinerRule(Rule):
+    """Problems with value associates must declare a non-empty
+    ``combiners`` mapping, and its keys must name allocated arrays."""
+
+    rule_id = "REP102"
+    name = "undeclared-combiner"
+    description = (
+        "a Problem registering NUM_VALUE_ASSOCIATES must declare the "
+        "merge semantics in a class-level `combiners` mapping"
+    )
+
+    def _combiners_assign(self, cls: ast.ClassDef) -> Optional[ast.AST]:
+        for node in cls.body:
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for t in targets:
+                    if isinstance(t, ast.Name) and t.id == "combiners":
+                        return node
+        return None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for cls in ctx.problem_classes:
+            n_values = 0
+            for node in ast.walk(cls):
+                v = _positive_int_assign(node, "NUM_VALUE_ASSOCIATES")
+                if v:
+                    n_values = max(n_values, v)
+            decl = self._combiners_assign(cls)
+            if n_values > 0:
+                if decl is None:
+                    yield self.finding(
+                        ctx, cls,
+                        f"{cls.name} registers NUM_VALUE_ASSOCIATES="
+                        f"{n_values} but declares no `combiners` mapping; "
+                        "the superstep-boundary merge semantics of the "
+                        "communicated values are unspecified",
+                        cls=cls.name,
+                    )
+                    continue
+                value = decl.value
+                if isinstance(value, ast.Dict) and not value.keys:
+                    yield self.finding(
+                        ctx, decl,
+                        f"{cls.name}.combiners is empty but the problem "
+                        "registers value associates",
+                        cls=cls.name,
+                    )
+            # keys must correspond to arrays the slice actually allocates
+            if decl is not None and isinstance(decl.value, ast.Dict):
+                allocated = set(_allocated_names(ctx, cls))
+                if not allocated:
+                    continue  # arrays allocated dynamically; cannot check
+                for key in decl.value.keys:
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and key.value not in allocated
+                    ):
+                        yield self.finding(
+                            ctx, key,
+                            f"{cls.name}.combiners declares a combiner for "
+                            f"{key.value!r} but init_data_slice never "
+                            "allocates an array of that name",
+                            cls=cls.name, array=key.value,
+                        )

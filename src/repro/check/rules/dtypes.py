@@ -1,0 +1,78 @@
+"""REP103 ``bare-dtype``: per-vertex arrays must use IdConfig dtypes.
+
+The whole library is parameterized on :class:`repro.types.IdConfig`
+(Table V: 64-bit IDs double the bytes moved and halve throughput).  A
+primitive that hard-codes ``np.int64``/``np.float64`` in its slice
+allocations silently opts out of that parameterization — its arrays stop
+shrinking when the graph is built with 32-bit IDs, and the cost model's
+byte accounting diverges from the data actually allocated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ModuleContext, Rule
+
+__all__ = ["BareDtypeRule"]
+
+#: concrete numpy scalar types that should come from an IdConfig instead
+BARE_DTYPES = {
+    "int8", "int16", "int32", "int64", "intp", "int_", "longlong",
+    "uint8", "uint16", "uint32", "uint64", "uintp",
+    "float16", "float32", "float64", "single", "double",
+}
+
+
+def _bare_dtype_name(node: ast.AST) -> str:
+    """``np.int64``-style attribute -> ``int64``; anything else -> ''."""
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr in BARE_DTYPES
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    ):
+        return node.attr
+    return ""
+
+
+class BareDtypeRule(Rule):
+    """``DataSlice.allocate`` calls in primitive modules must take their
+    dtype from the graph's IdConfig (``sub.csr.ids.vertex_dtype`` /
+    ``value_dtype``), not a bare numpy scalar type."""
+
+    rule_id = "REP103"
+    name = "bare-dtype"
+    description = (
+        "slice allocations must use IdConfig dtypes, not bare np.int64/"
+        "np.float64 literals"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_primitive_module:
+            return
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "allocate"
+            ):
+                continue
+            candidates = list(node.args[2:3]) + [
+                kw.value for kw in node.keywords if kw.arg == "dtype"
+            ]
+            for arg in candidates:
+                name = _bare_dtype_name(arg)
+                if name:
+                    yield self.finding(
+                        ctx, arg,
+                        f"slice array allocated with bare np.{name}; use "
+                        "the graph's IdConfig dtypes "
+                        "(sub.csr.ids.vertex_dtype for IDs/labels, "
+                        ".value_dtype for per-vertex values) so the "
+                        "primitive follows the Table V ID-width "
+                        "parameterization",
+                        dtype=name,
+                    )

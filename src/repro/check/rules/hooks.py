@@ -1,0 +1,77 @@
+"""REP101 ``iteration-hooks``: operator hooks exist with the right shape.
+
+The enactor calls the :class:`IterationBase` hooks positionally; a
+primitive that misses ``full_queue_core`` or overrides a hook with the
+wrong arity fails at runtime deep inside the BSP loop.  This rule moves
+that failure to lint time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ModuleContext, Rule
+
+__all__ = ["IterationHooksRule"]
+
+#: hook name -> number of parameters after ``self``
+HOOK_ARITY = {
+    "full_queue_core": 2,  # (ctx, frontier)
+    "expand_incoming": 2,  # (ctx, msg)
+    "vertex_associate_arrays": 1,  # (ctx)
+    "value_associate_arrays": 1,  # (ctx)
+    "communicates_this_iteration": 1,  # (iteration)
+    "should_stop": 3,  # (iteration, frontier_sizes, messages_in_flight)
+    "max_iterations": 0,
+    "on_iteration_end": 1,  # (iteration)
+    "direction_of": 1,  # (gpu)
+}
+
+
+class IterationHooksRule(Rule):
+    """Direct ``IterationBase`` subclasses must implement the required
+    hooks, and every overridden hook must keep the base signature."""
+
+    rule_id = "REP101"
+    name = "iteration-hooks"
+    description = (
+        "IterationBase subclasses must define full_queue_core and keep "
+        "the framework hook signatures"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for cls in ctx.iteration_classes:
+            direct = any(
+                isinstance(b, ast.Name) and b.id == "IterationBase"
+                for b in cls.bases
+            ) or any(
+                isinstance(b, ast.Attribute) and b.attr == "IterationBase"
+                for b in cls.bases
+            )
+            if direct and ctx.find_method(cls, "full_queue_core") is None:
+                yield self.finding(
+                    ctx, cls,
+                    f"{cls.name} subclasses IterationBase but does not "
+                    "implement the required full_queue_core(ctx, frontier) "
+                    "hook",
+                    cls=cls.name,
+                )
+            for method in ctx.methods(cls):
+                expected = HOOK_ARITY.get(method.name)
+                if expected is None:
+                    continue
+                args = method.args
+                if args.vararg is not None or args.kwarg is not None:
+                    continue  # forwarding wrappers are fine
+                n = len(args.posonlyargs) + len(args.args) - 1  # minus self
+                if n != expected:
+                    yield self.finding(
+                        ctx, method,
+                        f"{cls.name}.{method.name} takes {n} argument(s) "
+                        f"after self but the framework calls it with "
+                        f"{expected}; the enactor invokes hooks "
+                        "positionally",
+                        cls=cls.name, hook=method.name,
+                    )

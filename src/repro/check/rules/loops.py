@@ -1,0 +1,49 @@
+"""REP104 ``hot-loop``: no Python for-loops in operator hot paths.
+
+Correctness-bearing computation runs in NumPy precisely because a
+vectorized statement is this reproduction's stand-in for a GPU kernel
+(DESIGN.md).  A Python-level ``for`` over frontier/edge elements inside
+``full_queue_core``/``expand_incoming`` is the simulated equivalent of
+single-threaded device code: it bypasses the kernel cost model and is
+orders of magnitude slower.  Fixpoint ``while`` loops (pass counters,
+pointer-jumping rounds) are iteration counts, not per-element work, and
+are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import CONTROL_HOOKS, ModuleContext, Rule
+
+__all__ = ["HotLoopRule"]
+
+
+class HotLoopRule(Rule):
+    """Flag ``for`` statements inside iteration-class methods that run
+    within the superstep (everything except the control-plane hooks)."""
+
+    rule_id = "REP104"
+    name = "hot-loop"
+    description = (
+        "Python for-loops are forbidden in operator hot paths; "
+        "vectorize with numpy"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for cls in ctx.iteration_classes:
+            for method in ctx.methods(cls):
+                if method.name in CONTROL_HOOKS:
+                    continue
+                for node in ast.walk(method):
+                    if isinstance(node, ast.For):
+                        yield self.finding(
+                            ctx, node,
+                            f"Python for-loop inside hot path "
+                            f"{cls.name}.{method.name}; per-element work "
+                            "must be a vectorized numpy operation (the "
+                            "simulated kernel)",
+                            cls=cls.name, method=method.name,
+                        )

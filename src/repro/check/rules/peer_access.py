@@ -1,0 +1,93 @@
+"""REP106 ``peer-mutation``: only comm.py moves data between GPUs.
+
+The BSP contract (Section III-B) is that peer state changes *only* via
+split/package/push messages combined at the superstep boundary.  An
+iteration hook that writes through ``problem.data_slices[j]`` or
+``problem.subgraphs[j]`` mutates another GPU's memory mid-superstep —
+on real hardware that is a cross-device race the barrier cannot order.
+Hooks must touch only their own ``ctx.slice``/``ctx.sub``; the dynamic
+sanitizer enforces the same contract at runtime (SAN201/SAN202).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ModuleContext, Rule
+
+__all__ = ["PeerMutationRule"]
+
+_PEER_ATTRS = ("data_slices", "subgraphs")
+#: mutating methods whose receiver/first argument we inspect
+_MUTATORS = {"fill", "at", "put", "copyto"}
+
+
+def _mentions_peer_state(node: ast.AST) -> bool:
+    """Whether the expression reaches through ``.data_slices[...]`` or
+    ``.subgraphs[...]`` (indexed access to another GPU's state)."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Subscript)
+            and isinstance(sub.value, ast.Attribute)
+            and sub.value.attr in _PEER_ATTRS
+        ):
+            return True
+    return False
+
+
+class PeerMutationRule(Rule):
+    """Flag stores and mutating calls that reach through
+    ``data_slices[...]``/``subgraphs[...]`` inside iteration hooks."""
+
+    rule_id = "REP106"
+    name = "peer-mutation"
+    description = (
+        "iteration hooks must not mutate another GPU's slice or subgraph "
+        "arrays; inter-GPU data moves only through comm.py messages"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for cls in ctx.iteration_classes:
+            for method in ctx.methods(cls):
+                for node in ast.walk(method):
+                    targets = []
+                    if isinstance(node, ast.Assign):
+                        targets = node.targets
+                    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                        targets = [node.target]
+                    for t in targets:
+                        # only subscript/attribute stores can mutate peer
+                        # arrays; binding a plain name is a local read
+                        if isinstance(
+                            t, (ast.Subscript, ast.Attribute)
+                        ) and _mentions_peer_state(t):
+                            yield self.finding(
+                                ctx, node,
+                                f"{cls.name}.{method.name} writes through "
+                                "problem.data_slices/subgraphs — a "
+                                "mid-superstep mutation of peer GPU "
+                                "state; communicate via messages instead",
+                                cls=cls.name, method=method.name,
+                            )
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _MUTATORS
+                        and (
+                            _mentions_peer_state(node.func.value)
+                            or any(
+                                _mentions_peer_state(a)
+                                for a in node.args[:1]
+                            )
+                        )
+                    ):
+                        yield self.finding(
+                            ctx, node,
+                            f"{cls.name}.{method.name} calls a mutating "
+                            f"method ({node.func.attr}) on peer GPU state "
+                            "reached through problem.data_slices/"
+                            "subgraphs",
+                            cls=cls.name, method=method.name,
+                        )

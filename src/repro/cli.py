@@ -12,6 +12,9 @@ Commands
     dataset (the Fig. 2 / Section V-C inputs).
 ``sweep``
     Speedup sweep of one primitive over GPU counts.
+``check``
+    Static framework-contract linter (``docs/static_analysis.md``); add
+    ``--sanitize`` to ``run`` for the dynamic BSP race sanitizer.
 """
 
 from __future__ import annotations
@@ -51,6 +54,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--partitioner", default="random",
                      choices=["random", "biased-random", "metis"])
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--sanitize", action="store_true",
+                     help="run under the BSP race sanitizer and report "
+                          "hazards (exit 1 if any are found)")
 
     part = sub.add_parser("partition", help="compare partitioners")
     part.add_argument("--dataset", default="soc-orkut")
@@ -63,6 +69,15 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--dataset", default="soc-orkut")
     sweep.add_argument("--max-gpus", type=int, default=6)
     sweep.add_argument("--src", type=int, default=0)
+
+    check = sub.add_parser(
+        "check", help="lint sources against the framework contract"
+    )
+    check.add_argument("paths", nargs="*",
+                       help="files or directories to lint (default: the "
+                            "installed repro package)")
+    check.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit findings as JSON instead of text")
     return p
 
 
@@ -104,6 +119,8 @@ def _run_once(args, graph, scale, num_gpus, out=None):
     kwargs = {}
     if getattr(args, "partitioner", "random") != "random":
         kwargs["partitioner"] = make_partitioner(args.partitioner, args.seed)
+    if getattr(args, "sanitize", False):
+        kwargs["sanitize"] = True
     runner = RUNNERS[args.primitive]
     if args.primitive in ("bfs", "dobfs", "sssp", "bc"):
         result, metrics, _ = runner(graph, machine, src=args.src, **kwargs)
@@ -129,6 +146,15 @@ def _cmd_run(args, out) -> int:
             f"{traversal_gteps(graph, result, metrics):.2f} GTEPS",
             file=out,
         )
+    if metrics.sanitizer_hazards is not None:
+        hazards = metrics.sanitizer_hazards
+        if hazards:
+            for h in hazards:
+                print(f"{h['hazard_id']} [{h['name']}] {h['message']}",
+                      file=out)
+            print(f"sanitizer: {len(hazards)} hazard(s)", file=out)
+            return 1
+        print("sanitizer: clean", file=out)
     return 0
 
 
@@ -177,6 +203,27 @@ def _cmd_sweep(args, out) -> int:
     return 0
 
 
+def _cmd_check(args, out) -> int:
+    from .check import findings_to_json, lint_paths, render_findings
+
+    paths = args.paths
+    if not paths:
+        # default: lint the installed repro package itself
+        import repro
+
+        paths = [repro.__path__[0]]
+    try:
+        findings = lint_paths(paths)
+    except OSError as exc:
+        print(f"repro check: error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(findings_to_json(findings), file=out)
+    else:
+        print(render_findings(findings), file=out)
+    return 1 if findings else 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -189,6 +236,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_partition(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
+    if args.command == "check":
+        return _cmd_check(args, out)
     return 2  # pragma: no cover - argparse enforces choices
 
 

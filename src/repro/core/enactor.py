@@ -71,6 +71,13 @@ class Enactor:
         each receiver blocks on the specific arrival event of the data it
         combines.  Results are unchanged; communication-bound primitives
         (DOBFS) get faster.
+    sanitize:
+        Opt-in BSP race sanitizer (``repro.check.sanitizer``): wraps the
+        problem's slice arrays in shadow memory, attributes every access
+        to the executing virtual GPU, and reports contract hazards
+        (mid-superstep peer access, non-combinable write-write races) in
+        ``self.sanitizer.hazards`` and ``metrics.sanitizer_hazards``.
+        Off by default so benchmarks stay unperturbed.
     """
 
     def __init__(
@@ -81,6 +88,7 @@ class Enactor:
         comm_volume_scale: float = 1.0,
         comm_latency_scale: float = 1.0,
         overlap_communication: bool = False,
+        sanitize: bool = False,
     ):
         self.problem = problem
         self.machine: Machine = problem.machine
@@ -89,6 +97,11 @@ class Enactor:
         self.comm_volume_scale = comm_volume_scale
         self.comm_latency_scale = comm_latency_scale
         self.overlap_communication = overlap_communication
+        self.sanitizer = None
+        if sanitize:
+            from ..check.sanitizer import BspSanitizer
+
+            self.sanitizer = BspSanitizer(problem)
 
         n = self.machine.num_gpus
         self.frontiers_in: List[Frontier] = []
@@ -182,8 +195,11 @@ class Enactor:
         machine = self.machine
         n = machine.num_gpus
         iteration_obj = self.iteration_cls(problem)
+        sanitizer = self.sanitizer
         init_frontiers = problem.reset(**reset_kwargs)
         machine.reset()
+        if sanitizer is not None:
+            sanitizer.start_run()
         for g in machine.gpus:
             g.memory.reset_peak()
 
@@ -221,6 +237,8 @@ class Enactor:
                     iteration=iteration,
                     num_gpus=n,
                 )
+                if sanitizer is not None:
+                    sanitizer.begin_gpu(i, iteration)
                 compute_seconds = 0.0
                 # per-iteration framework overhead (bookkeeping kernels,
                 # driver API calls) — the 1-GPU part of Section V-B's l
@@ -313,9 +331,13 @@ class Enactor:
 
                 rec.compute_time[i] = compute_seconds
                 rec.comm_time[i] = comm_seconds
+                if sanitizer is not None:
+                    sanitizer.end_gpu()
 
             inboxes = next_inboxes
             machine.barrier(compute_only=self.overlap_communication)
+            if sanitizer is not None:
+                sanitizer.on_barrier(iteration)
             rec.duration = machine.clock.now - iter_start
             metrics.iterations.append(rec)
             iteration_obj.on_iteration_end(iteration)
@@ -331,6 +353,8 @@ class Enactor:
         for i in range(n):
             metrics.peak_memory[i] = machine.gpus[i].memory.peak
             metrics.num_reallocs += machine.gpus[i].memory.num_reallocs
+        if sanitizer is not None:
+            metrics.sanitizer_hazards = sanitizer.report()
         return metrics
 
     def release(self) -> None:

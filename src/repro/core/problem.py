@@ -24,6 +24,7 @@ from ..partition.base import Partitioner
 from ..partition.duplication import DUPLICATE_ALL, SubGraph, build_subgraphs
 from ..partition.random_part import RandomPartitioner
 from ..sim.machine import Machine
+from .combine import Combiner
 from .comm import SELECTIVE
 
 __all__ = ["DataSlice", "ProblemBase"]
@@ -93,6 +94,12 @@ class ProblemBase:
     NUM_VALUE_ASSOCIATES: int = 0
     duplication: str = DUPLICATE_ALL
     communication: str = SELECTIVE
+    #: slice-array name -> declared merge semantics for superstep-concurrent
+    #: writes (see :mod:`repro.core.combine`).  Any primitive that registers
+    #: associates must declare how they combine; the ``repro check`` linter
+    #: enforces the declaration and the BSP sanitizer verifies replicated
+    #: writes only ever land on arrays whose combiner is order-independent.
+    combiners: Dict[str, Combiner] = {}
     #: whether the primitive materializes an advance-output (intermediate)
     #: frontier; in-place primitives (PR's accumulate, CC's hook+jump)
     #: never need the O(|E|) buffer regardless of the allocation scheme

@@ -25,6 +25,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..core import combine
 from ..core.comm import BROADCAST, SELECTIVE, Message
 from ..core.iteration import GpuContext, IterationBase
 from ..core.operators.advance import advance_push
@@ -50,11 +51,19 @@ class BCProblem(ProblemBase):
     communication = SELECTIVE  # forward phase; flipped to broadcast later
     NUM_VERTEX_ASSOCIATES = 1  # depth label
     NUM_VALUE_ASSOCIATES = 1  # sigma (forward) / delta (backward)
+    # depths min-combine like BFS labels; sigma/delta are atomicAdd
+    # accumulations of path counts / dependencies
+    combiners = {
+        "labels": combine.MIN,
+        "sigma": combine.SUM,
+        "delta": combine.SUM,
+    }
 
     def init_data_slice(self, ds: DataSlice, sub: SubGraph) -> None:
-        ds.allocate("labels", sub.num_vertices, np.int64, fill=-1)
-        ds.allocate("sigma", sub.num_vertices, np.float64, fill=0.0)
-        ds.allocate("delta", sub.num_vertices, np.float64, fill=0.0)
+        ids = sub.csr.ids
+        ds.allocate("labels", sub.num_vertices, ids.vertex_dtype, fill=-1)
+        ds.allocate("sigma", sub.num_vertices, ids.value_dtype, fill=0.0)
+        ds.allocate("delta", sub.num_vertices, ids.value_dtype, fill=0.0)
 
     def reset(self, src: int = 0) -> List[np.ndarray]:
         self.phase = _FORWARD

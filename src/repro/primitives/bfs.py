@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..core import combine
 from ..core.comm import SELECTIVE, Message
 from ..core.iteration import GpuContext, IterationBase
 from ..core.operators.advance import advance_push
@@ -38,6 +39,9 @@ class BFSProblem(ProblemBase):
     name = "bfs"
     duplication = DUPLICATE_ALL
     communication = SELECTIVE
+    # labels min-combine (first discovery wins at the superstep boundary);
+    # any concurrently-written predecessor is a valid witness
+    combiners = {"labels": combine.MIN, "preds": combine.WITNESS}
 
     def __init__(self, *args, mark_predecessors: bool = False, **kwargs):
         self.mark_predecessors = mark_predecessors
@@ -47,10 +51,12 @@ class BFSProblem(ProblemBase):
         super().__init__(*args, **kwargs)
 
     def init_data_slice(self, ds: DataSlice, sub: SubGraph) -> None:
-        ds.allocate("labels", sub.num_vertices, np.int64, fill=INVALID_LABEL)
+        ids = sub.csr.ids
+        ds.allocate("labels", sub.num_vertices, ids.vertex_dtype,
+                    fill=INVALID_LABEL)
         if self.mark_predecessors:
             # predecessors are stored and communicated as *global* IDs
-            ds.allocate("preds", sub.num_vertices, np.int64, fill=-1)
+            ds.allocate("preds", sub.num_vertices, ids.vertex_dtype, fill=-1)
 
     def reset(self, src: int = 0) -> List[np.ndarray]:
         for ds in self.data_slices:

@@ -19,6 +19,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..core import combine
 from ..core.comm import BROADCAST, Message
 from ..core.iteration import GpuContext, IterationBase
 from ..core.problem import DataSlice, ProblemBase
@@ -36,9 +37,11 @@ class CCProblem(ProblemBase):
     communication = BROADCAST
     NUM_VERTEX_ASSOCIATES = 1  # the component ID travels with each vertex
     uses_intermediate = False  # hooking/jumping update comp[] in place
+    # component IDs converge to the per-component minimum vertex ID
+    combiners = {"comp": combine.MIN}
 
     def init_data_slice(self, ds: DataSlice, sub: SubGraph) -> None:
-        ds.allocate("comp", sub.num_vertices, np.int64)
+        ds.allocate("comp", sub.num_vertices, sub.csr.ids.vertex_dtype)
         # flattened edge sources for vectorized hooking, stored at vertex-ID
         # width; edge destinations need no extra storage — the CSR's
         # col_indices array IS the destination list

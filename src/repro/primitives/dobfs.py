@@ -25,6 +25,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..core import combine
 from ..core.comm import BROADCAST, Message
 from ..core.direction import BACKWARD, FORWARD, DirectionState
 from ..core.iteration import GpuContext, IterationBase
@@ -45,6 +46,13 @@ class DOBFSProblem(ProblemBase):
     name = "dobfs"
     duplication = DUPLICATE_ALL
     communication = BROADCAST
+    # every GPU mirrors labels/frontier state through broadcast: label
+    # discoveries min-combine, bitmap membership OR-combines
+    combiners = {
+        "labels": combine.MIN,
+        "in_frontier": combine.ANY,
+        "preds": combine.WITNESS,
+    }
 
     def __init__(self, *args, do_a: float = 0.01, do_b: float = 0.1,
                  mark_predecessors: bool = False, **kwargs):
@@ -55,11 +63,13 @@ class DOBFSProblem(ProblemBase):
         super().__init__(*args, **kwargs)
 
     def init_data_slice(self, ds: DataSlice, sub: SubGraph) -> None:
-        ds.allocate("labels", sub.num_vertices, np.int64, fill=INVALID_LABEL)
+        ids = sub.csr.ids
+        ds.allocate("labels", sub.num_vertices, ids.vertex_dtype,
+                    fill=INVALID_LABEL)
         # frontier membership bitmap for the pull direction
         ds.allocate("in_frontier", sub.num_vertices, bool, fill=False)
         if self.mark_predecessors:
-            ds.allocate("preds", sub.num_vertices, np.int64, fill=-1)
+            ds.allocate("preds", sub.num_vertices, ids.vertex_dtype, fill=-1)
 
     def reset(self, src: int = 0) -> List[np.ndarray]:
         # Every GPU must reach the SAME direction decision each iteration:

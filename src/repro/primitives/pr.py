@@ -23,6 +23,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..core import combine
 from ..core.comm import SELECTIVE, Message
 from ..core.iteration import GpuContext, IterationBase
 from ..core.problem import DataSlice, ProblemBase
@@ -40,6 +41,9 @@ class PRProblem(ProblemBase):
     communication = SELECTIVE
     NUM_VALUE_ASSOCIATES = 1  # the accumulated rank share
     uses_intermediate = False  # accumulation is in-place (no frontier out)
+    # partial rank shares atomicAdd-combine (Algorithm 3); "rank" itself
+    # is only ever written by the hosting GPU, so it needs no combiner
+    combiners = {"acc": combine.SUM}
 
     def __init__(
         self,
@@ -73,18 +77,20 @@ class PRProblem(ProblemBase):
             self.border_frontiers.append(border)
 
     def init_data_slice(self, ds: DataSlice, sub: SubGraph) -> None:
-        ds.allocate("rank", sub.num_vertices, np.float64, fill=0.0)
-        ds.allocate("acc", sub.num_vertices, np.float64, fill=0.0)
+        ids = sub.csr.ids
+        ds.allocate("rank", sub.num_vertices, ids.value_dtype, fill=0.0)
+        ds.allocate("acc", sub.num_vertices, ids.value_dtype, fill=0.0)
         # local degree: out-degree of hosted vertices equals their global
         # out-degree because edge-cut partitioning keeps all out-edges
-        degrees = np.diff(sub.csr.row_offsets).astype(np.float64)
-        ds.allocate("degree", sub.num_vertices, np.float64)
+        degrees = np.diff(sub.csr.row_offsets).astype(ids.value_dtype)
+        ds.allocate("degree", sub.num_vertices, ids.value_dtype)
         ds["degree"][:] = degrees
-        ds.allocate("delta", sub.num_vertices, np.float64, fill=np.inf)
+        ds.allocate("delta", sub.num_vertices, ids.value_dtype, fill=np.inf)
         if self.personalization is not None:
             # classic PR's uniform teleport needs no array at all — only
             # personalized PR pays for the per-vertex distribution
-            ds.allocate("teleport", sub.num_vertices, np.float64, fill=1.0)
+            ds.allocate("teleport", sub.num_vertices, ids.value_dtype,
+                        fill=1.0)
 
     def _teleport(self) -> np.ndarray:
         """Per-global-vertex teleport mass (scaled so uniform PR keeps the

@@ -23,6 +23,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..core import combine
 from ..core.comm import SELECTIVE, Message
 from ..core.iteration import GpuContext, IterationBase
 from ..core.operators.advance import advance_push
@@ -41,6 +42,8 @@ class SSSPProblem(ProblemBase):
     duplication = DUPLICATE_1HOP
     communication = SELECTIVE
     NUM_VALUE_ASSOCIATES = 1  # the distance travels with each vertex
+    # distances atomicMin-combine; any improving predecessor is a witness
+    combiners = {"dist": combine.MIN, "preds": combine.WITNESS}
 
     def __init__(self, *args, mark_predecessors: bool = False, **kwargs):
         self.mark_predecessors = mark_predecessors
@@ -52,9 +55,10 @@ class SSSPProblem(ProblemBase):
             )
 
     def init_data_slice(self, ds: DataSlice, sub: SubGraph) -> None:
-        ds.allocate("dist", sub.num_vertices, np.float64, fill=np.inf)
+        ids = sub.csr.ids
+        ds.allocate("dist", sub.num_vertices, ids.value_dtype, fill=np.inf)
         if self.mark_predecessors:
-            ds.allocate("preds", sub.num_vertices, np.int64, fill=-1)
+            ds.allocate("preds", sub.num_vertices, ids.vertex_dtype, fill=-1)
 
     def reset(self, src: int = 0) -> List[np.ndarray]:
         for ds in self.data_slices:
@@ -113,17 +117,19 @@ class SSSPIteration(IterationBase):
         )
         if problem.mark_predecessors and improved.size:
             # winner edge per improved vertex: the candidate equal to the
-            # final distance with the smallest edge index
+            # final distance with the smallest edge index.  Each improved
+            # vertex's final distance IS its minimum candidate, so every
+            # segment of the (nbr, eidx)-sorted relaxations contains at
+            # least one hit and the first hit at/after the segment start
+            # lies inside the segment — one searchsorted finds them all.
             order = np.lexsort((eidx, nbrs))
             s_nbrs, s_cand, s_srcs = nbrs[order], cand[order], srcs[order]
             pos = np.searchsorted(s_nbrs, improved, side="left")
-            ends = np.searchsorted(s_nbrs, improved, side="right")
             preds = ctx.slice["preds"]
             l2g = ctx.sub.local_to_global
-            for k, v in enumerate(improved):
-                seg = slice(pos[k], ends[k])
-                hit = pos[k] + int(np.argmax(s_cand[seg] <= dist[v] + 1e-12))
-                preds[v] = l2g[s_srcs[hit]]
+            hits = np.flatnonzero(s_cand <= dist[s_nbrs] + 1e-12)
+            winners = hits[np.searchsorted(hits, pos)]
+            preds[improved] = l2g[s_srcs[winners]]
         return improved, [a_stats, relax_stats]
 
     def expand_incoming(

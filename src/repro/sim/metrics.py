@@ -64,6 +64,9 @@ class RunMetrics:
     #: peak scaled memory per GPU, bytes
     peak_memory: Dict[int, int] = field(default_factory=dict)
     num_reallocs: int = 0
+    #: BSP-contract hazards found by the opt-in race sanitizer
+    #: (``Enactor(sanitize=True)``); ``None`` when the run was unsanitized
+    sanitizer_hazards: Optional[List[dict]] = None
 
     # -- BSP aggregates ---------------------------------------------------
     @property

@@ -1,0 +1,1 @@
+"""Tests for the framework-contract linter and BSP race sanitizer."""

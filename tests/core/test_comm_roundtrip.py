@@ -1,0 +1,129 @@
+"""Satellite 3: property-based round-trip of the split/package pipeline.
+
+For arbitrary small graphs, partitions, duplication strategies and
+frontiers, ``split_frontier`` + ``make_selective_messages`` must
+conserve the frontier exactly: the local part plus every packaged
+message, mapped through ``host_local_id`` into each receiver's numbering
+and back to global IDs, is a permutation of the original frontier — no
+vertex lost, none duplicated, every one delivered to its hosting GPU —
+and the gathered associate values ride along unchanged.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.comm import make_selective_messages, split_frontier
+from repro.graph.build import from_edges
+from repro.partition import DUPLICATE_1HOP, DUPLICATE_ALL, build_subgraphs
+from repro.partition.base import PartitionResult
+
+
+@st.composite
+def split_cases(draw):
+    """A random (graph, partition, strategy, gpu, frontier) instance."""
+    n = draw(st.integers(min_value=2, max_value=24))
+    num_edges = draw(st.integers(min_value=0, max_value=60))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    edges = [(u, v) for u, v in pairs if u != v]
+    graph = from_edges(n, edges)
+    num_gpus = draw(st.integers(min_value=1, max_value=4))
+    assignment = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_gpus - 1),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    part = PartitionResult.from_assignment(np.array(assignment), num_gpus)
+    strategy = draw(st.sampled_from([DUPLICATE_ALL, DUPLICATE_1HOP]))
+    subs = build_subgraphs(graph, part, strategy)
+    gpu = draw(st.integers(min_value=0, max_value=num_gpus - 1))
+    sub = subs[gpu]
+    # a duplicate-free frontier in this GPU's local index space (a GPU
+    # hosting nothing under duplicate-1-hop may have no local vertices)
+    if sub.num_vertices == 0:
+        frontier = []
+    else:
+        frontier = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=sub.num_vertices - 1),
+                max_size=sub.num_vertices,
+                unique=True,
+            )
+        )
+    return subs, gpu, np.array(sorted(frontier), dtype=np.int64)
+
+
+@given(split_cases())
+@settings(max_examples=120, deadline=None)
+def test_split_package_round_trip(case):
+    subs, gpu, frontier = case
+    sub = subs[gpu]
+    # per-local-vertex associates: the global ID (vertex associate) and a
+    # distinctive float keyed on the global ID (value associate)
+    vertex_assoc = sub.local_to_global.copy()
+    value_assoc = sub.local_to_global.astype(np.float64) * 0.5 + 0.25
+
+    local, remote, _ = split_frontier(sub, frontier)
+    messages, _ = make_selective_messages(
+        sub, remote, [vertex_assoc], [value_assoc]
+    )
+
+    # the local part is exactly the hosted subset of the frontier
+    assert np.array_equal(
+        np.sort(local), frontier[sub.is_hosted(frontier)]
+    )
+    # each remote sub-frontier targets the hosting GPU of its vertices
+    for peer, local_ids in remote.items():
+        assert peer != gpu
+        assert np.all(sub.host_of_local[local_ids] == peer)
+
+    # round trip: sender-local -> receiver-local -> global must equal
+    # sender-local -> global, message by message
+    delivered_globals = []
+    for msg in messages:
+        receiver = subs[msg.dst_gpu]
+        got = receiver.local_to_global[msg.vertices]
+        expected = sub.local_to_global[remote[msg.dst_gpu]]
+        assert np.array_equal(got, expected)
+        # the receiver hosts every vertex it is sent
+        assert np.all(receiver.host_of_local[msg.vertices] == msg.dst_gpu)
+        # associates were gathered from the sent vertices, in order
+        assert np.array_equal(msg.vertex_associates[0], expected)
+        assert np.array_equal(
+            msg.value_associates[0], expected.astype(np.float64) * 0.5 + 0.25
+        )
+        delivered_globals.append(got)
+
+    # conservation: local + delivered = the original frontier, exactly
+    # once each (no loss, no duplication)
+    pieces = [sub.local_to_global[local]] + delivered_globals
+    union = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+    assert np.array_equal(
+        np.sort(union), np.sort(sub.local_to_global[frontier])
+    )
+    assert np.unique(union).size == union.size
+
+
+@given(split_cases())
+@settings(max_examples=60, deadline=None)
+def test_split_is_a_partition_of_the_frontier(case):
+    subs, gpu, frontier = case
+    sub = subs[gpu]
+    local, remote, _ = split_frontier(sub, frontier)
+    sizes = local.size + sum(ids.size for ids in remote.values())
+    assert sizes == frontier.size
+    all_ids = np.concatenate(
+        [local] + list(remote.values())
+        if remote else [local]
+    )
+    assert set(all_ids.tolist()) == set(frontier.tolist())
