@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Convenience runner for the wall-clock backend bench.
+
+Equivalent to ``python -m repro bench`` with the same flags; exists so
+the perf benchmark has an obvious entry point next to its README::
+
+    python benchmarks/perf/run_bench.py --smoke --gate
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main() -> int:
+    from repro.cli import main as repro_main
+
+    return repro_main(["bench"] + sys.argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

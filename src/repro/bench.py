@@ -1,0 +1,240 @@
+"""Wall-clock benchmark harness for the execution backends.
+
+The simulator's *virtual* times are backend-invariant by construction
+(``repro.core.backend``); this module measures the *real* time the
+simulation itself takes — the quantity the execution-backend layer and
+the zero-copy operator work exist to improve.  It times ``enact()`` for
+all six primitives at several GPU counts on fixed RMAT and road inputs,
+under three configurations:
+
+* ``serial`` — serial dispatch, workspace arenas on (the new default);
+* ``threads`` — thread-pool dispatch, workspace arenas on;
+* ``serial_noworkspace`` — serial dispatch, workspace arenas off (the
+  pre-optimization allocation-churn baseline).
+
+Every result records the host's CPU count: the ``threads`` backend can
+only overlap supersteps across *cores* (NumPy kernels release the GIL,
+but one core is one core), so ``speedup_threads`` ~ 1.0 on a single-core
+host is expected, while ``speedup_workspace`` measures the zero-copy
+win, which is host-parallelism independent.
+
+Run it as ``python -m repro bench`` (see ``--help``); CI runs the
+``--smoke`` variant.  Results are written as JSON (``BENCH_2.json`` at
+the repo root is a committed reference run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .graph.build import add_random_weights
+from .graph.generators import generate_rmat, generate_road
+from .sim.machine import Machine
+
+__all__ = ["run_bench", "BENCH_PRIMITIVES", "DEFAULT_GPU_COUNTS"]
+
+BENCH_PRIMITIVES = ("bfs", "dobfs", "sssp", "cc", "bc", "pr")
+DEFAULT_GPU_COUNTS = (1, 2, 4)
+
+#: measurement variants: name -> Enactor kwargs
+_VARIANTS = {
+    "serial": {"backend": "serial", "use_workspace": True},
+    "threads": {"backend": "threads", "use_workspace": True},
+    "serial_noworkspace": {"backend": "serial", "use_workspace": False},
+}
+
+
+def _build_graphs(rmat_scale: int, road_side: int) -> Dict[str, object]:
+    rmat = generate_rmat(scale=rmat_scale, edge_factor=16, seed=1)
+    road = generate_road(road_side, road_side, seed=7)
+    return {"rmat": rmat, "road": road}
+
+
+def _make_enactor(primitive: str, graph, machine, **enactor_kwargs):
+    """Build (enactor, enact_kwargs) for one primitive, mirroring the
+    construction choices of the ``run_*`` one-shots."""
+    from .core.enactor import Enactor
+    from .primitives import (
+        BCIteration,
+        BCProblem,
+        BFSIteration,
+        BFSProblem,
+        CCIteration,
+        CCProblem,
+        DOBFSIteration,
+        DOBFSProblem,
+        PRIteration,
+        PRProblem,
+        SSSPIteration,
+        SSSPProblem,
+    )
+    from .sim.memory import FixedPrealloc
+
+    if primitive == "bfs":
+        problem = BFSProblem(graph, machine)
+        return Enactor(problem, BFSIteration, **enactor_kwargs), {"src": 0}
+    if primitive == "dobfs":
+        problem = DOBFSProblem(graph, machine)
+        enactor_kwargs.setdefault("overlap_communication", True)
+        return Enactor(problem, DOBFSIteration, **enactor_kwargs), {"src": 0}
+    if primitive == "sssp":
+        problem = SSSPProblem(graph, machine)
+        return Enactor(problem, SSSPIteration, **enactor_kwargs), {"src": 0}
+    if primitive == "cc":
+        problem = CCProblem(graph, machine)
+        return (
+            Enactor(
+                problem,
+                CCIteration,
+                scheme=FixedPrealloc(frontier_factor=1.05),
+                **enactor_kwargs,
+            ),
+            {},
+        )
+    if primitive == "bc":
+        problem = BCProblem(graph, machine)
+        return Enactor(problem, BCIteration, **enactor_kwargs), {"src": 0}
+    if primitive == "pr":
+        problem = PRProblem(graph, machine, max_iter=60)
+        return (
+            Enactor(
+                problem,
+                PRIteration,
+                scheme=FixedPrealloc(frontier_factor=1.05),
+                **enactor_kwargs,
+            ),
+            {},
+        )
+    raise ValueError(f"unknown primitive {primitive!r}")
+
+
+def _time_variant(
+    primitive: str, graph, num_gpus: int, repeats: int, **enactor_kwargs
+):
+    """Median wall-clock ms of ``enact()`` (after one warmup run), plus
+    the run's supersteps and the workspace arenas' counters."""
+    machine = Machine(num_gpus)
+    enactor, enact_kwargs = _make_enactor(
+        primitive, graph, machine, **enactor_kwargs
+    )
+    metrics = enactor.enact(**enact_kwargs)  # warmup: arenas grow here
+    for ws in enactor.workspaces:
+        if ws is not None:
+            ws.reset_counters()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        metrics = enactor.enact(**enact_kwargs)
+        samples.append((time.perf_counter() - t0) * 1e3)
+    workspace = None
+    if any(ws is not None for ws in enactor.workspaces):
+        workspace = {
+            "takes": sum(ws.takes for ws in enactor.workspaces if ws),
+            "grows": sum(ws.grows for ws in enactor.workspaces if ws),
+            "nbytes": sum(ws.nbytes for ws in enactor.workspaces if ws),
+        }
+    enactor.release()
+    return {
+        "median_ms": statistics.median(samples),
+        "min_ms": min(samples),
+        "supersteps": metrics.supersteps,
+        "workspace": workspace,
+    }
+
+
+def run_bench(
+    rmat_scale: int = 13,
+    road_side: int = 48,
+    repeats: int = 3,
+    gpu_counts: Sequence[int] = DEFAULT_GPU_COUNTS,
+    primitives: Sequence[str] = BENCH_PRIMITIVES,
+    datasets: Sequence[str] = ("rmat", "road"),
+    progress=None,
+) -> dict:
+    """Run the benchmark matrix; returns the BENCH_2-shaped dict."""
+    graphs = _build_graphs(rmat_scale, road_side)
+    cases: List[dict] = []
+    for dataset in datasets:
+        base_graph = graphs[dataset]
+        for primitive in primitives:
+            graph = base_graph
+            if primitive == "sssp":
+                graph = add_random_weights(base_graph, 1, 64, seed=2)
+            for n in gpu_counts:
+                case = {
+                    "primitive": primitive,
+                    "dataset": dataset,
+                    "gpus": n,
+                    "variants": {},
+                }
+                for name, kwargs in _VARIANTS.items():
+                    if progress is not None:
+                        progress(f"{dataset}/{primitive} x{n} [{name}]")
+                    case["variants"][name] = _time_variant(
+                        primitive, graph, n, repeats, **dict(kwargs)
+                    )
+                ser = case["variants"]["serial"]["median_ms"]
+                thr = case["variants"]["threads"]["median_ms"]
+                nws = case["variants"]["serial_noworkspace"]["median_ms"]
+                case["speedup_threads"] = ser / thr if thr else 0.0
+                case["speedup_workspace"] = nws / ser if ser else 0.0
+                cases.append(case)
+    result = {
+        "schema": "repro-bench-2",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "rmat_scale": rmat_scale,
+            "rmat_edge_factor": 16,
+            "road_side": road_side,
+            "repeats": repeats,
+            "gpu_counts": list(gpu_counts),
+            "primitives": list(primitives),
+            "datasets": list(datasets),
+        },
+        "cases": cases,
+        "notes": (
+            "speedup_threads needs host cores to express itself: NumPy "
+            "kernels release the GIL, but supersteps can only overlap "
+            "across physical cores (~1.0 on a 1-core host). "
+            "speedup_workspace is the zero-copy/arena win and is "
+            "host-parallelism independent."
+        ),
+    }
+    return result
+
+
+def write_bench(result: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def check_threads_regression(
+    result: dict, primitive: str = "bfs", gpus: int = 4, max_ratio: float = 1.2
+) -> Optional[str]:
+    """CI gate: threads must not be slower than ``max_ratio`` x serial on
+    the given case (RMAT).  Returns an error string, or None if OK."""
+    for case in result["cases"]:
+        if (
+            case["primitive"] == primitive
+            and case["gpus"] == gpus
+            and case["dataset"] == "rmat"
+        ):
+            ser = case["variants"]["serial"]["median_ms"]
+            thr = case["variants"]["threads"]["median_ms"]
+            if thr > ser * max_ratio:
+                return (
+                    f"threads backend {thr:.2f} ms vs serial {ser:.2f} ms "
+                    f"on {gpus}-GPU {primitive} (> {max_ratio:.2f}x)"
+                )
+            return None
+    return f"no bench case for {gpus}-GPU {primitive} on rmat"

@@ -20,6 +20,7 @@ from .dtypes import BareDtypeRule
 from .hooks import IterationHooksRule
 from .loops import HotLoopRule
 from .peer_access import PeerMutationRule
+from .workspace_rule import WorkspaceBypassRule
 
 __all__ = [
     "Rule",
@@ -33,6 +34,7 @@ __all__ = [
     "HotLoopRule",
     "RawAllocationRule",
     "PeerMutationRule",
+    "WorkspaceBypassRule",
 ]
 
 #: every shipped rule class, in rule-ID order
@@ -43,6 +45,7 @@ DEFAULT_RULES: List[Type[Rule]] = [
     HotLoopRule,
     RawAllocationRule,
     PeerMutationRule,
+    WorkspaceBypassRule,
 ]
 
 

@@ -29,6 +29,7 @@ the shadow path.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -161,6 +162,25 @@ def _positions(key, length: int) -> np.ndarray:
         return np.arange(length, dtype=np.int64)  # conservative: whole array
 
 
+@dataclass
+class _GpuStage:
+    """One GPU's staged sanitizer state for the current superstep.
+
+    Workers of the ``threads`` execution backend run concurrently, so
+    mid-superstep findings cannot append to shared structures without
+    perturbing the serial hazard order.  Each GPU turn accumulates into
+    its own stage; :meth:`BspSanitizer.on_barrier` merges the stages in
+    GPU-index order, reproducing exactly what the serial loop's
+    interleaved appends would have produced.
+    """
+
+    hazards: List[Hazard] = field(default_factory=list)
+    #: array name -> this GPU's written local-index chunks
+    pending: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+    #: (hazard_id, gpu, owner, name, superstep) dedupe for this turn
+    seen: Set[tuple] = field(default_factory=set)
+
+
 class BspSanitizer:
     """Records per-(GPU, superstep) accesses and checks the contract.
 
@@ -169,25 +189,25 @@ class BspSanitizer:
 
         san.start_run()
         for superstep:
-            for i in gpus:
+            for i in gpus:  # possibly on worker threads
                 san.begin_gpu(i, superstep)
                 ...hooks run...
                 san.end_gpu()
             san.on_barrier(superstep)
 
-    ``hazards`` accumulates per :meth:`start_run`; :meth:`report` returns
-    them as dicts for metrics/CLI consumption.
+    The current GPU attribution is **thread-local**: under the enactor's
+    ``threads`` backend each worker calls ``begin_gpu`` on its own
+    thread, so concurrent turns attribute accesses to the right virtual
+    GPU.  ``hazards`` accumulates per :meth:`start_run`; :meth:`report`
+    returns them as dicts for metrics/CLI consumption.
     """
 
     def __init__(self, problem) -> None:
         self.problem = problem
         self.hazards: List[Hazard] = []
-        self._gpu: Optional[int] = None
-        self._superstep: int = -1
-        #: array name -> writes this superstep: gpu -> list of local indices
-        self._pending: Dict[str, Dict[int, List[np.ndarray]]] = {}
-        #: (hazard_id, gpu, owner, name, superstep) dedupe
-        self._seen: Set[tuple] = set()
+        self._tls = threading.local()
+        #: per-GPU stages of the current superstep, merged at the barrier
+        self._stages: Dict[int, _GpuStage] = {}
         self._safe: Dict[str, bool] = {}
         for name, comb in getattr(problem, "combiners", {}).items():
             self._safe[name] = bool(getattr(comb, "order_independent", False))
@@ -196,24 +216,49 @@ class BspSanitizer:
                 ds.arrays[name] = ShadowArray.wrap(arr, self, gpu, name)
         problem._sanitizer = self  # reachable from run_* convenience returns
 
+    @property
+    def _gpu(self) -> Optional[int]:
+        """The virtual GPU executing on *this* thread (None outside turns)."""
+        return getattr(self._tls, "gpu", None)
+
+    @property
+    def _superstep(self) -> int:
+        return getattr(self._tls, "superstep", -1)
+
+    @property
+    def _stage(self) -> Optional[_GpuStage]:
+        return getattr(self._tls, "stage", None)
+
     # -- enactor protocol ---------------------------------------------------
     def start_run(self) -> None:
         self.hazards.clear()
-        self._pending.clear()
-        self._seen.clear()
-        self._gpu = None
-        self._superstep = -1
+        self._stages.clear()
+        self._tls.gpu = None
+        self._tls.stage = None
+        self._tls.superstep = -1
 
     def begin_gpu(self, gpu: int, superstep: int) -> None:
-        self._gpu = gpu
-        self._superstep = superstep
+        stage = _GpuStage()
+        self._stages[gpu] = stage
+        self._tls.gpu = gpu
+        self._tls.stage = stage
+        self._tls.superstep = superstep
 
     def end_gpu(self) -> None:
-        self._gpu = None
+        self._tls.gpu = None
+        self._tls.stage = None
 
     def on_barrier(self, superstep: int) -> None:
-        """Check the superstep's logged writes for replicated WW races."""
-        for name, per_gpu in self._pending.items():
+        """Merge per-GPU stages (in GPU order, reproducing the serial
+        append order) and check logged writes for replicated WW races."""
+        pending: Dict[str, Dict[int, List[np.ndarray]]] = {}
+        for gpu in sorted(self._stages):
+            stage = self._stages[gpu]
+            self.hazards.extend(stage.hazards)
+            for name, chunks in stage.pending.items():
+                pending.setdefault(name, {})[gpu] = chunks
+        self._stages.clear()
+        for name, per_gpu in pending.items():
             writers = {g: idx for g, idx in per_gpu.items() if idx}
             if len(writers) < 2:
                 continue
@@ -255,7 +300,6 @@ class BspSanitizer:
                     extra={"combiner": desc},
                 )
             )
-        self._pending.clear()
 
     def report(self) -> List[dict]:
         return [h.to_dict() for h in self.hazards]
@@ -272,13 +316,16 @@ class BspSanitizer:
         gpu = self._gpu
         if gpu == arr._owner:
             return
-        dedupe = ("SAN201", gpu, arr._owner, arr._name, self._superstep)
-        if dedupe in self._seen:
+        stage = self._stage
+        if stage is None:
             return
-        self._seen.add(dedupe)
+        dedupe = ("SAN201", gpu, arr._owner, arr._name, self._superstep)
+        if dedupe in stage.seen:
+            return
+        stage.seen.add(dedupe)
         pos = _positions(key, arr.shape[0]) if arr.ndim == 1 else \
             np.empty(0, dtype=np.int64)
-        self.hazards.append(
+        stage.hazards.append(
             Hazard(
                 hazard_id="SAN201",
                 name="remote-read",
@@ -297,14 +344,17 @@ class BspSanitizer:
 
     def _on_write(self, arr: "ShadowArray", key) -> None:
         gpu = self._gpu
+        stage = self._stage
+        if stage is None:
+            return
         if gpu != arr._owner:
             dedupe = ("SAN202", gpu, arr._owner, arr._name, self._superstep)
-            if dedupe in self._seen:
+            if dedupe in stage.seen:
                 return
-            self._seen.add(dedupe)
+            stage.seen.add(dedupe)
             pos = _positions(key, arr.shape[0]) if arr.ndim == 1 else \
                 np.empty(0, dtype=np.int64)
-            self.hazards.append(
+            stage.hazards.append(
                 Hazard(
                     hazard_id="SAN202",
                     name="remote-write",
@@ -324,6 +374,6 @@ class BspSanitizer:
             return  # declared combiner is order-independent: mergeable
         if arr.ndim != 1:
             return
-        self._pending.setdefault(arr._name, {}).setdefault(gpu, []).append(
+        stage.pending.setdefault(arr._name, []).append(
             _positions(key, arr.shape[0])
         )

@@ -12,6 +12,9 @@ Commands
     dataset (the Fig. 2 / Section V-C inputs).
 ``sweep``
     Speedup sweep of one primitive over GPU counts.
+``bench``
+    Wall-clock benchmark of the execution backends (serial vs threads vs
+    workspace-off); writes ``BENCH_2.json`` (``docs/performance.md``).
 ``check``
     Static framework-contract linter (``docs/static_analysis.md``); add
     ``--sanitize`` to ``run`` for the dynamic BSP race sanitizer.
@@ -57,6 +60,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sanitize", action="store_true",
                      help="run under the BSP race sanitizer and report "
                           "hazards (exit 1 if any are found)")
+    run.add_argument("--backend", default="serial",
+                     help="execution backend: serial, threads, or "
+                          "threads:N (results are identical; only "
+                          "wall-clock changes)")
 
     part = sub.add_parser("partition", help="compare partitioners")
     part.add_argument("--dataset", default="soc-orkut")
@@ -69,6 +76,29 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--dataset", default="soc-orkut")
     sweep.add_argument("--max-gpus", type=int, default=6)
     sweep.add_argument("--src", type=int, default=0)
+    sweep.add_argument("--backend", default="serial",
+                       help="execution backend: serial, threads, threads:N")
+
+    bench = sub.add_parser(
+        "bench",
+        help="wall-clock benchmark of the execution backends "
+             "(serial vs threads vs no-workspace)",
+    )
+    bench.add_argument("--out", default="BENCH_2.json",
+                       help="output JSON path (default: BENCH_2.json)")
+    bench.add_argument("--rmat-scale", type=int, default=13)
+    bench.add_argument("--road-side", type=int, default=48)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--gpus", type=int, nargs="+", default=[1, 2, 4])
+    bench.add_argument("--primitives", nargs="+", default=None,
+                       choices=["bfs", "dobfs", "sssp", "cc", "bc", "pr"])
+    bench.add_argument("--smoke", action="store_true",
+                       help="small fast configuration for CI: tiny "
+                            "graphs, bfs+pr only")
+    bench.add_argument("--gate", action="store_true",
+                       help="exit 1 if the threads backend is >1.2x "
+                            "slower than serial on the 4-GPU rmat BFS "
+                            "case (CI regression gate)")
 
     check = sub.add_parser(
         "check", help="lint sources against the framework contract"
@@ -121,6 +151,8 @@ def _run_once(args, graph, scale, num_gpus, out=None):
         kwargs["partitioner"] = make_partitioner(args.partitioner, args.seed)
     if getattr(args, "sanitize", False):
         kwargs["sanitize"] = True
+    if getattr(args, "backend", "serial") != "serial":
+        kwargs["backend"] = args.backend
     runner = RUNNERS[args.primitive]
     if args.primitive in ("bfs", "dobfs", "sssp", "bc"):
         result, metrics, _ = runner(graph, machine, src=args.src, **kwargs)
@@ -203,6 +235,65 @@ def _cmd_sweep(args, out) -> int:
     return 0
 
 
+def _cmd_bench(args, out) -> int:
+    from .bench import (
+        check_threads_regression,
+        run_bench,
+        write_bench,
+    )
+
+    kwargs = dict(
+        rmat_scale=args.rmat_scale,
+        road_side=args.road_side,
+        repeats=args.repeats,
+        gpu_counts=tuple(args.gpus),
+    )
+    if args.primitives:
+        kwargs["primitives"] = tuple(args.primitives)
+    if args.smoke:
+        kwargs.update(
+            rmat_scale=min(args.rmat_scale, 10),
+            road_side=min(args.road_side, 24),
+            repeats=min(args.repeats, 3),
+            primitives=tuple(args.primitives or ("bfs", "pr")),
+            datasets=("rmat",),
+        )
+    result = run_bench(
+        progress=lambda msg: print(f"bench: {msg}", file=sys.stderr),
+        **kwargs,
+    )
+    write_bench(result, args.out)
+    rows = [
+        [
+            c["dataset"], c["primitive"], c["gpus"],
+            f"{c['variants']['serial']['median_ms']:.2f}",
+            f"{c['variants']['threads']['median_ms']:.2f}",
+            f"{c['variants']['serial_noworkspace']['median_ms']:.2f}",
+            f"{c['speedup_threads']:.2f}x",
+            f"{c['speedup_workspace']:.2f}x",
+        ]
+        for c in result["cases"]
+    ]
+    print(
+        render_table(
+            ["dataset", "primitive", "GPUs", "serial ms", "threads ms",
+             "no-ws ms", "thr. speedup", "ws speedup"],
+            rows,
+            title=f"enact() wall-clock "
+                  f"(host cores: {result['host']['cpu_count']})",
+        ),
+        file=out,
+    )
+    print(f"wrote {args.out}", file=out)
+    if args.gate:
+        err = check_threads_regression(result)
+        if err:
+            print(f"bench gate: {err}", file=sys.stderr)
+            return 1
+        print("bench gate: OK", file=out)
+    return 0
+
+
 def _cmd_check(args, out) -> int:
     from .check import findings_to_json, lint_paths, render_findings
 
@@ -236,6 +327,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_partition(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     if args.command == "check":
         return _cmd_check(args, out)
     return 2  # pragma: no cover - argparse enforces choices

@@ -75,7 +75,11 @@ def split_frontier(
     packaging.  C (communication computation) is O(|frontier|): one host
     lookup and one scatter per element.
     """
-    frontier = np.asarray(frontier, dtype=np.int64)
+    frontier = np.asarray(frontier)
+    if frontier.dtype != np.int64:
+        # enactor-fed frontiers arrive already int64; only detached
+        # callers (tests, baselines) pay this copy
+        frontier = frontier.astype(np.int64)
     hosts = sub.host_of_local[frontier]
     local = frontier[hosts == sub.gpu_id]
     remote: Dict[int, np.ndarray] = {}

@@ -25,7 +25,7 @@ reports peak memory in the run metrics.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Type
+from typing import List, Optional, Sequence, Type, Union
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from ..errors import ConvergenceError
 from ..sim.machine import Machine
 from ..sim.memory import AllocationScheme, PreallocFusion
 from ..sim.metrics import IterationRecord, RunMetrics
+from .backend import ExecutionBackend, GpuStepEffects, make_backend
 from .comm import (
     BROADCAST,
     make_broadcast_messages,
@@ -43,6 +44,7 @@ from .frontier import Frontier
 from .iteration import GpuContext, IterationBase
 from .problem import ProblemBase
 from .stats import OpStats
+from .workspace import Workspace
 
 __all__ = ["Enactor"]
 
@@ -78,6 +80,19 @@ class Enactor:
         (mid-superstep peer access, non-combinable write-write races) in
         ``self.sanitizer.hazards`` and ``metrics.sanitizer_hazards``.
         Off by default so benchmarks stay unperturbed.
+    backend:
+        Execution backend dispatching the per-GPU supersteps
+        (``repro.core.backend``): ``"serial"`` (default) runs them in
+        GPU-index order on the calling thread; ``"threads"`` overlaps
+        them on a persistent worker pool.  Results, metrics, virtual
+        times, and sanitizer reports are bit-identical across backends —
+        every cross-GPU effect is staged per worker and merged in
+        GPU-index order at the barrier.
+    use_workspace:
+        Give each virtual GPU a scratch :class:`Workspace` arena that
+        operators reuse across calls instead of allocating fresh
+        temporaries.  On by default; the bench harness turns it off to
+        measure the allocation-churn baseline.
     """
 
     def __init__(
@@ -89,6 +104,8 @@ class Enactor:
         comm_latency_scale: float = 1.0,
         overlap_communication: bool = False,
         sanitize: bool = False,
+        backend: Union[str, ExecutionBackend, None] = "serial",
+        use_workspace: bool = True,
     ):
         self.problem = problem
         self.machine: Machine = problem.machine
@@ -104,6 +121,10 @@ class Enactor:
             self.sanitizer = BspSanitizer(problem)
 
         n = self.machine.num_gpus
+        self.backend = make_backend(backend, num_gpus=n)
+        self.workspaces: List[Optional[Workspace]] = [
+            Workspace(i) if use_workspace else None for i in range(n)
+        ]
         self.frontiers_in: List[Frontier] = []
         self.frontiers_out: List[Frontier] = []
         self._intermediate_names: List[str] = []
@@ -189,6 +210,140 @@ class Enactor:
             self._charge_frontier_growth(gpu_index, needed, vb)
 
     # ------------------------------------------------------------------
+    def _gpu_superstep(
+        self,
+        i: int,
+        iteration: int,
+        iteration_obj: IterationBase,
+        frontier_in: np.ndarray,
+        inbox: List[tuple],
+    ) -> GpuStepEffects:
+        """One GPU's full superstep: combine → core → split/package/push.
+
+        Touches only GPU ``i``'s private state — its streams, memory
+        pool, data slice, frontier buffers, and workspace — and *stages*
+        every cross-GPU effect (outgoing messages, record entries,
+        interconnect traffic) in the returned :class:`GpuStepEffects`.
+        That makes it safe for the ``threads`` backend to run n of these
+        concurrently; the enactor merges the effects in GPU-index order
+        at the barrier, so any execution order yields the serial result.
+        """
+        machine = self.machine
+        problem = self.problem
+        n = machine.num_gpus
+        gpu = machine.gpus[i]
+        sub = problem.subgraphs[i]
+        sanitizer = self.sanitizer
+        eff = GpuStepEffects(gpu=i)
+        ctx = GpuContext(
+            gpu=gpu,
+            sub=sub,
+            slice=problem.data_slices[i],
+            kernel_model=machine.kernel_model,
+            fused=self.scheme.fused,
+            iteration=iteration,
+            num_gpus=n,
+            workspace=self.workspaces[i],
+        )
+        if sanitizer is not None:
+            sanitizer.begin_gpu(i, iteration)
+        compute_seconds = 0.0
+        # per-iteration framework overhead (bookkeeping kernels,
+        # driver API calls) — the 1-GPU part of Section V-B's l
+        gpu.compute.launch(gpu.spec.iteration_overhead, label="framework")
+        compute_seconds += gpu.spec.iteration_overhead
+
+        # --- 1. combine incoming messages ----------------------
+        extra_parts: List[np.ndarray] = []
+        combined_items = 0
+        for arrival, msg in inbox:
+            verts, stats = iteration_obj.expand_incoming(ctx, msg)
+            compute_seconds += self._charge(i, stats, earliest_start=arrival)
+            combined_items += msg.num_items
+            if verts.size:
+                extra_parts.append(np.asarray(verts, dtype=np.int64))
+        if inbox:
+            eff.comm_compute_items = combined_items
+        if not extra_parts:
+            frontier = frontier_in
+        elif frontier_in.size == 0 and len(extra_parts) == 1:
+            # nothing to merge with: adopt the combined part, no copy
+            frontier = extra_parts[0]
+        else:
+            frontier = np.concatenate([frontier_in] + extra_parts)
+        eff.frontier_size = int(frontier.size)
+        grown = self.frontiers_in[i].set(frontier)
+        compute_seconds += self._charge_frontier_growth(
+            i, grown, self.frontiers_in[i].item_bytes
+        )
+
+        # --- 2. single-GPU core --------------------------------
+        out, core_stats = iteration_obj.full_queue_core(ctx, frontier)
+        out = np.asarray(out, dtype=np.int64)
+        compute_seconds += self._charge(i, core_stats)
+        self._ensure_intermediate(i, core_stats)
+        eff.edges_visited = sum(s.edges_visited for s in core_stats)
+        eff.vertices_processed = sum(s.vertices_processed for s in core_stats)
+        grown = self.frontiers_out[i].set(out)
+        compute_seconds += self._charge_frontier_growth(
+            i, grown, self.frontiers_out[i].item_bytes
+        )
+        eff.direction = iteration_obj.direction_of(i)
+
+        # --- 3. split / package / push -------------------------
+        comm_seconds = 0.0
+        if n > 1 and iteration_obj.communicates_this_iteration(iteration):
+            va = list(iteration_obj.vertex_associate_arrays(ctx))
+            la = list(iteration_obj.value_associate_arrays(ctx))
+            if problem.communication == BROADCAST:
+                msgs, pstats = make_broadcast_messages(
+                    sub, out, n, va, la, ids_bytes=ctx.ids_bytes
+                )
+                local_part = out
+                compute_seconds += self._charge(i, [pstats])
+            else:
+                local_part, remote, sstats = split_frontier(
+                    sub, out, ids_bytes=ctx.ids_bytes
+                )
+                msgs, pstats = make_selective_messages(
+                    sub, remote, va, la, ids_bytes=ctx.ids_bytes
+                )
+                compute_seconds += self._charge(i, [sstats, pstats])
+            send_ready = gpu.compute.record_event()
+            # empty sub-frontiers send no payload; the
+            # frontier-length handshake is part of the barrier's
+            # synchronization latency, not a tracked message
+            msgs = [m for m in msgs if m.num_items > 0]
+            ids = problem.graph.ids
+            for msg in msgs:
+                nbytes = int(msg.nbytes(ids) * self.comm_volume_scale)
+                dur = machine.interconnect.transfer_cost(
+                    i,
+                    msg.dst_gpu,
+                    nbytes,
+                    latency_scale=self.comm_latency_scale,
+                )
+                ev = gpu.comm.launch(
+                    dur,
+                    earliest_start=send_ready.timestamp,
+                    label=f"send->{msg.dst_gpu}",
+                )
+                comm_seconds += dur
+                eff.sends.append((msg.dst_gpu, ev.timestamp, msg))
+                eff.transfer_nbytes.append(nbytes)
+                eff.items_sent += msg.num_items
+                eff.bytes_sent += nbytes
+            eff.frontier = local_part
+        else:
+            eff.frontier = out
+
+        eff.compute_seconds = compute_seconds
+        eff.comm_seconds = comm_seconds
+        if sanitizer is not None:
+            sanitizer.end_gpu()
+        return eff
+
+    # ------------------------------------------------------------------
     def enact(self, **reset_kwargs) -> RunMetrics:
         """Run the primitive to convergence; returns the run's metrics."""
         problem = self.problem
@@ -212,7 +367,6 @@ class Enactor:
             primitive=problem.name,
             scale=machine.scale,
         )
-        ids = problem.graph.ids
 
         iteration = 0
         while True:
@@ -225,114 +379,39 @@ class Enactor:
             iter_start = machine.clock.now
             next_inboxes: List[List[tuple]] = [[] for _ in range(n)]
 
-            for i in range(n):
-                gpu = machine.gpus[i]
-                sub = problem.subgraphs[i]
-                ctx = GpuContext(
-                    gpu=gpu,
-                    sub=sub,
-                    slice=problem.data_slices[i],
-                    kernel_model=machine.kernel_model,
-                    fused=self.scheme.fused,
-                    iteration=iteration,
-                    num_gpus=n,
-                )
-                if sanitizer is not None:
-                    sanitizer.begin_gpu(i, iteration)
-                compute_seconds = 0.0
-                # per-iteration framework overhead (bookkeeping kernels,
-                # driver API calls) — the 1-GPU part of Section V-B's l
-                gpu.compute.launch(gpu.spec.iteration_overhead, label="framework")
-                compute_seconds += gpu.spec.iteration_overhead
-
-                # --- 1. combine incoming messages ----------------------
-                extra_parts: List[np.ndarray] = []
-                for arrival, msg in inboxes[i]:
-                    verts, stats = iteration_obj.expand_incoming(ctx, msg)
-                    compute_seconds += self._charge(i, stats, earliest_start=arrival)
-                    rec.comm_compute_items[i] = (
-                        rec.comm_compute_items.get(i, 0) + msg.num_items
+            step_fns = [
+                (
+                    lambda idx=i: self._gpu_superstep(
+                        idx, iteration, iteration_obj,
+                        frontiers[idx], inboxes[idx],
                     )
-                    if verts.size:
-                        extra_parts.append(np.asarray(verts, dtype=np.int64))
-                if extra_parts:
-                    frontier = np.concatenate([frontiers[i]] + extra_parts)
-                else:
-                    frontier = frontiers[i]
-                rec.frontier_size += int(frontier.size)
-                grown = self.frontiers_in[i].set(frontier)
-                compute_seconds += self._charge_frontier_growth(
-                    i, grown, self.frontiers_in[i].item_bytes
                 )
+                for i in range(n)
+            ]
+            effects = self.backend.map_supersteps(step_fns)
 
-                # --- 2. single-GPU core --------------------------------
-                out, core_stats = iteration_obj.full_queue_core(ctx, frontier)
-                out = np.asarray(out, dtype=np.int64)
-                compute_seconds += self._charge(i, core_stats)
-                self._ensure_intermediate(i, core_stats)
-                rec.edges_visited[i] = sum(s.edges_visited for s in core_stats)
-                rec.vertices_processed[i] = sum(
-                    s.vertices_processed for s in core_stats
-                )
-                grown = self.frontiers_out[i].set(out)
-                compute_seconds += self._charge_frontier_growth(
-                    i, grown, self.frontiers_out[i].item_bytes
-                )
-                rec.direction = iteration_obj.direction_of(i) or rec.direction
-
-                # --- 3. split / package / push -------------------------
-                comm_seconds = 0.0
-                if n > 1 and iteration_obj.communicates_this_iteration(iteration):
-                    va = list(iteration_obj.vertex_associate_arrays(ctx))
-                    la = list(iteration_obj.value_associate_arrays(ctx))
-                    if problem.communication == BROADCAST:
-                        msgs, pstats = make_broadcast_messages(
-                            sub, out, n, va, la, ids_bytes=ctx.ids_bytes
-                        )
-                        local_part = out
-                        compute_seconds += self._charge(i, [pstats])
-                    else:
-                        local_part, remote, sstats = split_frontier(
-                            sub, out, ids_bytes=ctx.ids_bytes
-                        )
-                        msgs, pstats = make_selective_messages(
-                            sub, remote, va, la, ids_bytes=ctx.ids_bytes
-                        )
-                        compute_seconds += self._charge(i, [sstats, pstats])
-                    send_ready = gpu.compute.record_event()
-                    # empty sub-frontiers send no payload; the
-                    # frontier-length handshake is part of the barrier's
-                    # synchronization latency, not a tracked message
-                    msgs = [m for m in msgs if m.num_items > 0]
-                    for msg in msgs:
-                        nbytes = int(
-                            msg.nbytes(ids) * self.comm_volume_scale
-                        )
-                        dur = machine.interconnect.transfer_time(
-                            i,
-                            msg.dst_gpu,
-                            nbytes,
-                            latency_scale=self.comm_latency_scale,
-                        )
-                        ev = gpu.comm.launch(
-                            dur,
-                            earliest_start=send_ready.timestamp,
-                            label=f"send->{msg.dst_gpu}",
-                        )
-                        comm_seconds += dur
-                        next_inboxes[msg.dst_gpu].append((ev.timestamp, msg))
-                        rec.items_sent[i] = (
-                            rec.items_sent.get(i, 0) + msg.num_items
-                        )
-                        rec.bytes_sent[i] = rec.bytes_sent.get(i, 0) + nbytes
-                    frontiers[i] = local_part
-                else:
-                    frontiers[i] = out
-
-                rec.compute_time[i] = compute_seconds
-                rec.comm_time[i] = comm_seconds
-                if sanitizer is not None:
-                    sanitizer.end_gpu()
+            # merge staged cross-GPU effects in GPU-index order — the
+            # exact mutation order of the old serial loop, so records,
+            # inbox ordering, and traffic counters are bit-identical no
+            # matter where the supersteps actually ran
+            for eff in effects:
+                i = eff.gpu
+                if eff.comm_compute_items is not None:
+                    rec.comm_compute_items[i] = eff.comm_compute_items
+                rec.frontier_size += eff.frontier_size
+                rec.edges_visited[i] = eff.edges_visited
+                rec.vertices_processed[i] = eff.vertices_processed
+                rec.direction = eff.direction or rec.direction
+                if eff.sends:
+                    rec.items_sent[i] = eff.items_sent
+                    rec.bytes_sent[i] = eff.bytes_sent
+                for dst, arrival, msg in eff.sends:
+                    next_inboxes[dst].append((arrival, msg))
+                for nbytes in eff.transfer_nbytes:
+                    machine.interconnect.record_transfer(nbytes)
+                frontiers[i] = eff.frontier
+                rec.compute_time[i] = eff.compute_seconds
+                rec.comm_time[i] = eff.comm_seconds
 
             inboxes = next_inboxes
             machine.barrier(compute_only=self.overlap_communication)
@@ -359,6 +438,7 @@ class Enactor:
 
     def release(self) -> None:
         """Free the enactor's device buffers (frontiers, comm staging)."""
+        self.backend.close()
         n = self.machine.num_gpus
         for i in range(n):
             pool = self.machine.gpus[i].memory

@@ -9,7 +9,7 @@ framework owns everything else.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from ..sim.kernel import KernelModel
 from .comm import Message
 from .problem import DataSlice, ProblemBase
 from .stats import OpStats
+from .workspace import Workspace
 
 __all__ = ["GpuContext", "IterationBase"]
 
@@ -35,6 +36,9 @@ class GpuContext:
     fused: bool
     iteration: int
     num_gpus: int
+    #: per-GPU scratch arena for operator hot paths (never shared across
+    #: GPUs; None when the enactor runs without one, e.g. in unit tests)
+    workspace: Optional[Workspace] = None
 
     @property
     def ids_bytes(self) -> int:

@@ -15,24 +15,42 @@ the paper:
 Both return real arrays (correctness) plus an :class:`OpStats`
 (cost-model input).  All segment processing is vectorized; the pull-mode
 first-hit search uses ``np.minimum.reduceat`` over masked positions.
+
+Hot-path allocation discipline: CSR structure is indexed through the
+graph's cached int64 views (``csr.offsets64``/``csr.cols64`` — no per-call
+``astype`` copy), and when the caller passes a per-GPU
+:class:`~repro.core.workspace.Workspace` the edge-length scratch
+(flattened edge indices, gathered neighbor lists, pull-scan masks) is
+written into reused arena buffers instead of fresh allocations.  The
+``ws is None`` branches keep the allocating fallback for detached callers
+(baselines, unit tests); results are bit-identical either way.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ...graph.csr import CsrGraph
 from ..stats import OpStats
+from ..workspace import Workspace
 
 __all__ = ["gather_neighbors", "advance_push", "advance_pull"]
 
 _BIG = np.iinfo(np.int64).max
 
 
+def _frontier64(frontier: np.ndarray) -> np.ndarray:
+    """The frontier as int64, without copying already-converted input."""
+    frontier = np.asarray(frontier)
+    if frontier.dtype == np.int64:
+        return frontier
+    return frontier.astype(np.int64)
+
+
 def gather_neighbors(
-    csr: CsrGraph, frontier: np.ndarray
+    csr: CsrGraph, frontier: np.ndarray, ws: Optional[Workspace] = None
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Gather all out-neighbors of ``frontier``.
 
@@ -40,9 +58,13 @@ def gather_neighbors(
     to the total degree of the frontier.  ``sources[k]`` is the frontier
     vertex whose edge produced ``neighbors[k]`` and ``edge_indices[k]`` is
     that edge's position in ``csr.col_indices`` (for weight lookup).
+
+    With a workspace, ``neighbors`` and ``edge_indices`` are views into
+    the arena — valid until the next gather on the same GPU; callers must
+    consume them within the operator call chain.
     """
-    frontier = np.asarray(frontier, dtype=np.int64)
-    offsets = csr.row_offsets.astype(np.int64)
+    frontier = _frontier64(frontier)
+    offsets = csr.offsets64
     starts = offsets[frontier]
     counts = offsets[frontier + 1] - starts
     total = int(counts.sum())
@@ -50,10 +72,16 @@ def gather_neighbors(
         empty = np.empty(0, dtype=np.int64)
         return empty, empty.copy(), empty.copy()
     # flattened edge indices: repeat(start - exclusive_prefix) + arange
-    edge_idx = np.repeat(starts + counts - np.cumsum(counts), counts) + np.arange(
-        total, dtype=np.int64
-    )
-    neighbors = csr.col_indices[edge_idx].astype(np.int64)
+    seg_base = np.repeat(starts + counts - np.cumsum(counts), counts)
+    if ws is None:
+        edge_idx = seg_base + np.arange(total, dtype=np.int64)
+        neighbors = csr.cols64[edge_idx]
+    else:
+        edge_idx = ws.take("advance.edge_idx", total, np.int64)
+        np.add(seg_base, ws.iota(total), out=edge_idx)
+        neighbors = np.take(
+            csr.cols64, edge_idx, out=ws.take("advance.neighbors", total, np.int64)
+        )
     sources = np.repeat(frontier, counts)
     return neighbors, sources, edge_idx
 
@@ -62,6 +90,7 @@ def advance_push(
     csr: CsrGraph,
     frontier: np.ndarray,
     ids_bytes: int = 4,
+    ws: Optional[Workspace] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, OpStats]:
     """Per-edge parallel advance (the standard forward traversal).
 
@@ -73,7 +102,7 @@ def advance_push(
     edge-offset data at ``SizeT`` width — the term that makes 64-bit edge
     IDs slower (Table V: "reads 2x data per edge").
     """
-    neighbors, sources, edge_idx = gather_neighbors(csr, frontier)
+    neighbors, sources, edge_idx = gather_neighbors(csr, frontier, ws=ws)
     edges = int(neighbors.size)
     nf = int(np.asarray(frontier).size)
     size_bytes = csr.ids.size_bytes
@@ -96,6 +125,7 @@ def advance_pull(
     candidates: np.ndarray,
     in_frontier: np.ndarray,
     ids_bytes: int = 4,
+    ws: Optional[Workspace] = None,
 ) -> Tuple[np.ndarray, np.ndarray, OpStats]:
     """Per-vertex pull advance with edge skipping (Section VI-A).
 
@@ -109,6 +139,8 @@ def advance_pull(
         Vertices looking for a parent (the unvisited set).
     in_frontier:
         Boolean mask over vertices: membership in the current frontier.
+    ws:
+        Optional per-GPU scratch arena for the edge-length temporaries.
 
     Returns
     -------
@@ -119,8 +151,8 @@ def advance_pull(
         actually *scanned* — a candidate stops at its first hit, which is
         the entire point of direction-optimization.
     """
-    candidates = np.asarray(candidates, dtype=np.int64)
-    offsets = csr.row_offsets.astype(np.int64)
+    candidates = _frontier64(candidates)
+    offsets = csr.offsets64
     starts = offsets[candidates]
     counts = offsets[candidates + 1] - starts
     nonzero = counts > 0
@@ -141,14 +173,31 @@ def advance_pull(
         return empty, empty.copy(), stats
 
     seg_starts = np.concatenate([[0], np.cumsum(counts_nz)[:-1]])
-    edge_idx = np.repeat(starts_nz - seg_starts, counts_nz) + np.arange(
-        total, dtype=np.int64
-    )
-    neighbors = csr.col_indices[edge_idx].astype(np.int64)
-    hit = in_frontier[neighbors]
-    # position of each slot within its segment; masked to BIG where no hit
-    pos = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, counts_nz)
-    masked = np.where(hit, pos, _BIG)
+    seg_base = np.repeat(starts_nz - seg_starts, counts_nz)
+    pos_base = np.repeat(seg_starts, counts_nz)
+    if ws is None:
+        edge_idx = seg_base + np.arange(total, dtype=np.int64)
+        neighbors = csr.cols64[edge_idx]
+        hit = in_frontier[neighbors]
+        # position of each slot within its segment; masked to BIG where
+        # no hit
+        pos = np.arange(total, dtype=np.int64) - pos_base
+        masked = np.where(hit, pos, _BIG)
+    else:
+        iota = ws.iota(total)
+        edge_idx = ws.take("pull.edge_idx", total, np.int64)
+        np.add(seg_base, iota, out=edge_idx)
+        neighbors = np.take(
+            csr.cols64, edge_idx, out=ws.take("pull.neighbors", total, np.int64)
+        )
+        hit = np.take(
+            in_frontier, neighbors, out=ws.take("pull.hit", total, bool)
+        )
+        pos = ws.take("pull.pos", total, np.int64)
+        np.subtract(iota, pos_base, out=pos)
+        masked = ws.take("pull.masked", total, np.int64)
+        masked.fill(_BIG)
+        np.copyto(masked, pos, where=hit)
     first_hit = np.minimum.reduceat(masked, seg_starts)
     found = first_hit != _BIG
     discovered = cand[found]

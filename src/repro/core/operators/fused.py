@@ -17,12 +17,13 @@ The unfused path must materialize the advance output (the enactor sizes an
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ...graph.csr import CsrGraph
 from ..stats import OpStats
+from ..workspace import Workspace
 from .advance import advance_push
 from .filter import filter_unvisited
 
@@ -55,6 +56,7 @@ def fused_advance_filter(
     labels: np.ndarray,
     invalid_label,
     ids_bytes: int = 4,
+    ws: Optional[Workspace] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, OpStats]:
     """Advance then unvisited-filter as one fused kernel.
 
@@ -65,7 +67,7 @@ def fused_advance_filter(
     reproducibility).
     """
     neighbors, sources, edge_idx, a_stats = advance_push(
-        csr, frontier, ids_bytes=ids_bytes
+        csr, frontier, ids_bytes=ids_bytes, ws=ws
     )
     survivors, f_stats = filter_unvisited(
         neighbors, labels, invalid_label, ids_bytes=ids_bytes

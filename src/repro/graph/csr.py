@@ -51,12 +51,20 @@ class CsrGraph:
     ids: IdConfig = field(default=ID32)
     directed: bool = True
     _csc: Optional["CsrGraph"] = field(default=None, repr=False, compare=False)
+    _offsets64: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+    _cols64: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.row_offsets = np.asarray(self.row_offsets, dtype=self.ids.size_dtype)
         self.col_indices = np.asarray(self.col_indices, dtype=self.ids.vertex_dtype)
         if self.values is not None:
             self.values = np.asarray(self.values, dtype=self.ids.value_dtype)
+        self._offsets64 = None
+        self._cols64 = None
         self.validate()
 
     # ------------------------------------------------------------------
@@ -136,6 +144,41 @@ class CsrGraph:
     @property
     def num_edges(self) -> int:
         return int(self.row_offsets[-1]) if self.row_offsets.size else 0
+
+    @property
+    def offsets64(self) -> np.ndarray:
+        """``row_offsets`` at the canonical int64 compute width, cached.
+
+        Operators index CSR structure with int64 regardless of the
+        graph's stored ``IdConfig`` width (the Table V lever only affects
+        *charged traffic*, never host compute dtypes).  Converting per
+        call was an O(|V|) copy on every advance; the arrays are
+        immutable after construction, so one cached read-only conversion
+        serves every traversal.  When the stored dtype already is int64
+        this is the array itself — zero copies.
+        """
+        if self._offsets64 is None:
+            off = self.row_offsets
+            if off.dtype != np.int64:
+                off = off.astype(np.int64)
+                off.setflags(write=False)
+            self._offsets64 = off
+        return self._offsets64
+
+    @property
+    def cols64(self) -> np.ndarray:
+        """``col_indices`` at int64, cached read-only (see ``offsets64``).
+
+        Gathers through this view produce int64 neighbor lists directly —
+        one pass instead of gather-then-``astype``.
+        """
+        if self._cols64 is None:
+            cols = self.col_indices
+            if cols.dtype != np.int64:
+                cols = cols.astype(np.int64)
+                cols.setflags(write=False)
+            self._cols64 = cols
+        return self._cols64
 
     def out_degree(self, v: Optional[np.ndarray] = None) -> np.ndarray:
         """Out-degrees of ``v`` (or all vertices if ``v`` is None)."""

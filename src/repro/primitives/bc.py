@@ -105,7 +105,7 @@ class BCIteration(IterationBase):
             return np.empty(0, dtype=np.int64), []
         label_val = ctx.iteration + 1
         nbrs, srcs, eidx, a_stats = advance_push(
-            csr, frontier, ids_bytes=ctx.ids_bytes
+            csr, frontier, ids_bytes=ctx.ids_bytes, ws=ctx.workspace
         )
         if nbrs.size == 0:
             return np.empty(0, dtype=np.int64), [a_stats]
@@ -150,7 +150,7 @@ class BCIteration(IterationBase):
         if cand.size == 0:
             return np.empty(0, dtype=np.int64), []
         nbrs, srcs, _eidx, a_stats = advance_push(
-            ctx.sub.csr, cand, ids_bytes=ctx.ids_bytes
+            ctx.sub.csr, cand, ids_bytes=ctx.ids_bytes, ws=ctx.workspace
         )
         succ = labels[nbrs] == level + 1
         if np.any(succ):

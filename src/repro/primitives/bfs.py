@@ -96,12 +96,13 @@ class BFSIteration(IterationBase):
             return np.empty(0, dtype=np.int64), []
         if ctx.fused:
             survivors, w_src, _w_edge, stats = fused_advance_filter(
-                csr, frontier, labels, INVALID_LABEL, ids_bytes=ctx.ids_bytes
+                csr, frontier, labels, INVALID_LABEL,
+                ids_bytes=ctx.ids_bytes, ws=ctx.workspace,
             )
             stats_list = [stats]
         else:
             nbrs, srcs, eidx, a_stats = advance_push(
-                csr, frontier, ids_bytes=ctx.ids_bytes
+                csr, frontier, ids_bytes=ctx.ids_bytes, ws=ctx.workspace
             )
             survivors, f_stats = filter_unvisited(
                 nbrs, labels, INVALID_LABEL, ids_bytes=ctx.ids_bytes

@@ -70,13 +70,24 @@ class CCProblem(ProblemBase):
 class CCIteration(IterationBase):
     """Local hook+jump fixpoint, broadcast of changed component IDs."""
 
+    def __init__(self, problem):
+        super().__init__(problem)
+        # edge_src never changes after init; cache its int64 view per GPU
+        # instead of an O(|Ei|) astype every superstep
+        self._src64: dict = {}
+
     def full_queue_core(
         self, ctx: GpuContext, frontier: np.ndarray
     ) -> Tuple[np.ndarray, List[OpStats]]:
         ds = ctx.slice
         comp = ds["comp"]
-        src = ds["edge_src"].astype(np.int64)
-        dst = ctx.sub.csr.col_indices.astype(np.int64)
+        src = self._src64.get(ctx.gpu.device_id)
+        if src is None:
+            src = ds["edge_src"]
+            if src.dtype != np.int64:
+                src = src.astype(np.int64)
+            self._src64[ctx.gpu.device_id] = src
+        dst = ctx.sub.csr.cols64
         stats: List[OpStats] = []
         if frontier.size == 0:
             # nothing changed locally or remotely: already at fixpoint

@@ -109,6 +109,14 @@ class DOBFSProblem(ProblemBase):
 class DOBFSIteration(IterationBase):
     """Dual-direction core with the FV/BV switching rule."""
 
+    def __init__(self, problem):
+        super().__init__(problem)
+        # per-GPU record of which bitmap bits the last backward pass set,
+        # so the next pass clears only those instead of an O(|Vi|) fill;
+        # always a superset of the set bits (problem.reset only clears),
+        # so a stale record after reset() is harmless
+        self._prev_in_frontier: dict = {}
+
     def _decide_direction(
         self, ctx: GpuContext, frontier_size: int
     ) -> Tuple[str, List[OpStats]]:
@@ -154,12 +162,13 @@ class DOBFSIteration(IterationBase):
             hosted = frontier[ctx.sub.is_hosted(frontier)]
             if ctx.fused:
                 survivors, w_src, _w, stats = fused_advance_filter(
-                    csr, hosted, labels, INVALID_LABEL, ids_bytes=ctx.ids_bytes
+                    csr, hosted, labels, INVALID_LABEL,
+                    ids_bytes=ctx.ids_bytes, ws=ctx.workspace,
                 )
                 stats_list.append(stats)
             else:
                 nbrs, srcs, eidx, a_stats = advance_push(
-                    csr, hosted, ids_bytes=ctx.ids_bytes
+                    csr, hosted, ids_bytes=ctx.ids_bytes, ws=ctx.workspace
                 )
                 survivors, f_stats = filter_unvisited(
                     nbrs, labels, INVALID_LABEL, ids_bytes=ctx.ids_bytes
@@ -168,10 +177,17 @@ class DOBFSIteration(IterationBase):
                 stats_list.extend([a_stats, f_stats])
         else:
             # backward (pull): unvisited *hosted* vertices look for a
-            # parent in the previous frontier (mirrored in the bitmap)
-            bitmap.fill(False)
+            # parent in the previous frontier (mirrored in the bitmap).
+            # The bitmap persists across iterations; clear only the bits
+            # the previous backward pass set rather than re-filling |Vi|.
+            prev = self._prev_in_frontier.get(ctx.gpu.device_id)
+            if prev is None:
+                bitmap.fill(False)
+            elif prev.size:
+                bitmap[prev] = False
             if frontier.size:
                 bitmap[frontier] = True
+            self._prev_in_frontier[ctx.gpu.device_id] = frontier.copy()
             hosted_all = np.flatnonzero(
                 ctx.sub.host_of_local == ctx.gpu.device_id
             )
@@ -189,7 +205,8 @@ class DOBFSIteration(IterationBase):
                 )
             )
             survivors, parents, stats = advance_pull(
-                csr, candidates, bitmap, ids_bytes=ctx.ids_bytes
+                csr, candidates, bitmap, ids_bytes=ctx.ids_bytes,
+                ws=ctx.workspace,
             )
             w_src = parents
             stats_list.append(stats)

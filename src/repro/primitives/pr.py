@@ -71,7 +71,7 @@ class PRProblem(ProblemBase):
         self.border_frontiers: List[np.ndarray] = []
         for sub in self.subgraphs:
             hosted = np.flatnonzero(sub.host_of_local == sub.gpu_id)
-            targets = np.unique(sub.csr.col_indices.astype(np.int64))
+            targets = np.unique(sub.csr.cols64)
             border = targets[sub.host_of_local[targets] != sub.gpu_id]
             self.hosted_frontiers.append(hosted)
             self.border_frontiers.append(border)
@@ -175,17 +175,28 @@ class PRIteration(IterationBase):
         # advance kernel: every hosted vertex pushes its share along its
         # out-edges (local ones land in acc; border entries travel later)
         csr = sub.csr
-        offsets = csr.row_offsets.astype(np.int64)
+        offsets = csr.offsets64
         counts = offsets[hosted + 1] - offsets[hosted]
-        pushers = hosted[counts > 0]
+        nonzero = counts > 0
+        pushers = hosted[nonzero]
         if pushers.size:
             share = problem.damping * rank[pushers] / degree[pushers]
-            p_counts = (offsets[pushers + 1] - offsets[pushers]).astype(np.int64)
+            p_counts = counts[nonzero]
             total = int(p_counts.sum())
-            edge_idx = np.repeat(
+            seg_base = np.repeat(
                 offsets[pushers] + p_counts - np.cumsum(p_counts), p_counts
-            ) + np.arange(total, dtype=np.int64)
-            nbrs = csr.col_indices[edge_idx].astype(np.int64)
+            )
+            ws = ctx.workspace
+            if ws is None:
+                edge_idx = seg_base + np.arange(total, dtype=np.int64)
+                nbrs = csr.cols64[edge_idx]
+            else:
+                edge_idx = ws.take("pr.edge_idx", total, np.int64)
+                np.add(seg_base, ws.iota(total), out=edge_idx)
+                nbrs = np.take(
+                    csr.cols64, edge_idx,
+                    out=ws.take("pr.nbrs", total, np.int64),
+                )
             np.add.at(acc, nbrs, np.repeat(share, p_counts))
             stats.append(
                 OpStats(

@@ -103,24 +103,38 @@ class Interconnect:
             return self.peer_link
         return self.host_link
 
-    def transfer_time(
+    def transfer_cost(
         self, src: int, dst: int, nbytes: int, latency_scale: float = 1.0
     ) -> float:
         """Time to move ``nbytes`` logical bytes from ``src`` to ``dst``.
 
-        Records traffic in :attr:`total_bytes`/:attr:`total_messages`.
-        Zero-byte messages still pay latency (the frontier-length exchange
-        each iteration is such a message).  ``latency_scale`` supports the
-        paper's Section V-A sensitivity experiment (latency inflated 10x
-        showed "no appreciable difference").
+        Pure — no counters are touched, so per-GPU superstep workers may
+        call it concurrently and stage the traffic for
+        :meth:`record_transfer` at the barrier.  Zero-byte messages still
+        pay latency (the frontier-length exchange each iteration is such
+        a message).  ``latency_scale`` supports the paper's Section V-A
+        sensitivity experiment (latency inflated 10x showed "no
+        appreciable difference").
         """
         if nbytes < 0:
             raise CommunicationError("negative transfer size")
         lk = self.link(src, dst)
-        charged = nbytes * self.scale
-        self.total_bytes += int(charged)
+        return lk.latency * latency_scale + nbytes * self.scale / lk.bandwidth
+
+    def record_transfer(self, nbytes: int) -> None:
+        """Record one message of ``nbytes`` logical bytes in the traffic
+        counters (scaled, with the same per-message rounding as ever)."""
+        self.total_bytes += int(nbytes * self.scale)
         self.total_messages += 1
-        return lk.latency * latency_scale + charged / lk.bandwidth
+
+    def transfer_time(
+        self, src: int, dst: int, nbytes: int, latency_scale: float = 1.0
+    ) -> float:
+        """:meth:`transfer_cost` plus immediate :meth:`record_transfer` —
+        the original single-caller convenience."""
+        cost = self.transfer_cost(src, dst, nbytes, latency_scale)
+        self.record_transfer(nbytes)
+        return cost
 
     def sync_latency(self, num_active_gpus: int) -> float:
         """Extra per-iteration barrier cost for ``num_active_gpus`` GPUs.

@@ -1,0 +1,135 @@
+"""Tentpole: the execution backends are bit-identical by construction.
+
+Serial and threaded dispatch run the same per-GPU superstep closure and
+the same GPU-index-order merge of staged effects, so *everything* the
+simulation reports — result arrays, the full RunMetrics dict (virtual
+times, per-GPU records, traffic counters), and sanitizer hazard reports
+— must match bit for bit across backends, for every primitive, GPU
+count, and communication mode (BFS/SSSP/BC are selective, DOBFS/CC/PR
+broadcast).  The same holds for the workspace arenas: they are a pure
+wall-clock optimization and must not change any observable.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.backend import (
+    SerialBackend,
+    ThreadsBackend,
+    make_backend,
+)
+from repro.primitives import (
+    run_bc,
+    run_bfs,
+    run_cc,
+    run_dobfs,
+    run_pagerank,
+    run_sssp,
+)
+from repro.sim.machine import Machine
+
+RUNNERS = {
+    "bfs": (run_bfs, {"src": 0}),
+    "dobfs": (run_dobfs, {"src": 0}),
+    "sssp": (run_sssp, {"src": 0}),
+    "cc": (run_cc, {}),
+    "bc": (run_bc, {"src": 0}),
+    "pr": (run_pagerank, {"max_iter": 30}),
+}
+
+
+def _run(name, graph, num_gpus, **kwargs):
+    runner, rkwargs = RUNNERS[name]
+    machine = Machine(num_gpus)
+    result, metrics, _ = runner(graph, machine, **rkwargs, **kwargs)
+    return np.asarray(result), metrics
+
+
+def _graph_for(name, small_rmat, weighted_rmat):
+    return weighted_rmat if name == "sssp" else small_rmat
+
+
+@pytest.mark.parametrize("primitive", sorted(RUNNERS))
+@pytest.mark.parametrize("num_gpus", [1, 2, 4])
+def test_threads_bit_identical_to_serial(
+    primitive, num_gpus, small_rmat, weighted_rmat
+):
+    graph = _graph_for(primitive, small_rmat, weighted_rmat)
+    r_ser, m_ser = _run(primitive, graph, num_gpus, backend="serial")
+    r_thr, m_thr = _run(primitive, graph, num_gpus, backend="threads")
+    np.testing.assert_array_equal(r_ser, r_thr)
+    # the full metrics tree, including dict key order (JSON traces
+    # observe it) and every float bit
+    assert json.dumps(m_ser.to_dict()) == json.dumps(m_thr.to_dict())
+
+
+@pytest.mark.parametrize("primitive", sorted(RUNNERS))
+def test_workspace_changes_no_observable(
+    primitive, small_rmat, weighted_rmat
+):
+    graph = _graph_for(primitive, small_rmat, weighted_rmat)
+    r_on, m_on = _run(primitive, graph, 2, use_workspace=True)
+    r_off, m_off = _run(primitive, graph, 2, use_workspace=False)
+    np.testing.assert_array_equal(r_on, r_off)
+    assert json.dumps(m_on.to_dict()) == json.dumps(m_off.to_dict())
+
+
+@pytest.mark.parametrize("num_gpus", [2, 4])
+def test_sanitizer_reports_identical_across_backends(
+    num_gpus, small_rmat
+):
+    _, m_ser = _run("bfs", small_rmat, num_gpus, backend="serial",
+                    sanitize=True)
+    _, m_thr = _run("bfs", small_rmat, num_gpus, backend="threads",
+                    sanitize=True)
+    assert m_ser.sanitizer_hazards is not None
+    assert m_ser.sanitizer_hazards == m_thr.sanitizer_hazards
+
+
+def test_explicit_worker_count_identical(small_rmat):
+    r_ser, m_ser = _run("bfs", small_rmat, 4, backend="serial")
+    r_thr, m_thr = _run("bfs", small_rmat, 4, backend="threads:2")
+    np.testing.assert_array_equal(r_ser, r_thr)
+    assert json.dumps(m_ser.to_dict()) == json.dumps(m_thr.to_dict())
+
+
+def test_make_backend_specs():
+    assert isinstance(make_backend(None), SerialBackend)
+    assert isinstance(make_backend("serial"), SerialBackend)
+    thr = make_backend("threads", num_gpus=3)
+    assert isinstance(thr, ThreadsBackend) and thr.max_workers == 3
+    thr2 = make_backend("threads:2")
+    assert thr2.max_workers == 2
+    inst = SerialBackend()
+    assert make_backend(inst) is inst
+    with pytest.raises(ValueError):
+        make_backend("cuda")
+
+
+def test_threads_backend_close_idempotent():
+    be = ThreadsBackend()
+    out = be.map_supersteps([lambda: 1, lambda: 2, lambda: 3])
+    assert out == [1, 2, 3]
+    be.close()
+    be.close()
+    # pool is rebuilt lazily after close
+    assert be.map_supersteps([lambda: 4, lambda: 5]) == [4, 5]
+    be.close()
+
+
+def test_threads_backend_preserves_submission_order():
+    import time
+
+    be = ThreadsBackend(max_workers=4)
+
+    def slow(i):
+        def fn():
+            time.sleep(0.02 * (4 - i))  # earlier tasks finish later
+            return i
+
+        return fn
+
+    assert be.map_supersteps([slow(i) for i in range(4)]) == [0, 1, 2, 3]
+    be.close()
