@@ -1,0 +1,232 @@
+"""Seeded chaos harness: fault plans x primitives x machines.
+
+The robustness acceptance gate (``docs/robustness.md``): every primitive
+must survive each fault kind and produce results equal to a fault-free
+reference run of the same configuration.  The harness is fully seeded —
+graph generation, fault plans, and the virtual machine are all
+deterministic, so a failing cell reproduces exactly from its name.
+
+Fault kinds exercised per cell:
+
+``transient-comm``
+    Every GPU's outgoing link fails twice starting at superstep 0; the
+    enactor's capped-backoff retry loop must absorb all of them.
+``oom``
+    Every GPU's next allocation fails once; the enactor regrows the
+    buffer with an exact-fit allocation.  Armed together with a
+    deliberately undersized allocation scheme so frontier growth
+    actually allocates during supersteps.
+``gpu-loss``
+    The highest-numbered GPU dies permanently at superstep 1; the
+    enactor rolls every survivor back to the last barrier checkpoint,
+    repartitions the lost subgraph onto the survivors, and resumes
+    degraded.
+
+Use :func:`run_chaos_matrix` programmatically or
+``python -m repro chaos`` from the command line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .graph.build import add_random_weights
+from .graph.generators import generate_rmat
+from .primitives import RUNNERS
+from .sim.faults import (
+    GPU_LOSS,
+    OOM,
+    TRANSIENT_COMM,
+    FaultPlan,
+    FaultSpec,
+)
+from .sim.machine import Machine
+from .sim.memory import FixedPrealloc, JustEnough
+
+__all__ = [
+    "CHAOS_KINDS",
+    "CHAOS_PRIMITIVES",
+    "ChaosResult",
+    "build_chaos_plan",
+    "run_chaos_case",
+    "run_chaos_matrix",
+]
+
+CHAOS_PRIMITIVES = ("bfs", "dobfs", "sssp", "cc", "bc", "pr")
+CHAOS_KINDS = (TRANSIENT_COMM, OOM, GPU_LOSS)
+
+#: primitives whose recovered output must be bit-exact; the float-valued
+#: primitives (PR ranks, BC centrality) compare with allclose because a
+#: rollback legitimately reorders float accumulations
+EXACT_PRIMITIVES = frozenset({"bfs", "dobfs", "sssp", "cc"})
+
+
+def build_chaos_plan(kind: str, num_gpus: int) -> Tuple[FaultPlan, dict]:
+    """The canonical fault plan for one chaos cell.
+
+    Returns ``(plan, extra_enactor_kwargs)``; the kwargs carry whatever
+    the recovery path additionally needs (checkpointing for GPU loss).
+    """
+    if kind == TRANSIENT_COMM:
+        # two consecutive link failures out of every GPU, from the start
+        plan = FaultPlan(
+            [
+                FaultSpec(TRANSIENT_COMM, gpu=g, iteration=0, count=2)
+                for g in range(num_gpus)
+            ]
+        )
+        return plan, {}
+    if kind == OOM:
+        plan = FaultPlan(
+            [FaultSpec(OOM, gpu=g, iteration=0) for g in range(num_gpus)]
+        )
+        return plan, {}
+    if kind == GPU_LOSS:
+        # superstep 1, not 0: CC can converge in two supersteps and the
+        # loss must land while the run is still in flight
+        plan = FaultPlan(
+            [FaultSpec(GPU_LOSS, gpu=num_gpus - 1, iteration=1)]
+        )
+        return plan, {"checkpoint_every": 2}
+    raise ValueError(f"unknown chaos kind {kind!r}; expected {CHAOS_KINDS}")
+
+
+def _chaos_scheme(primitive: str, kind: str):
+    """Allocation scheme for a chaos cell.
+
+    The OOM cells need a scheme that undersizes frontiers so growth
+    actually reallocates during supersteps (the preallocating schemes
+    never allocate after setup, which would leave the armed fault
+    pending forever).
+    """
+    if kind == OOM:
+        return JustEnough(slack=0.05)
+    if primitive in ("cc", "pr"):
+        return FixedPrealloc(frontier_factor=1.05)
+    return None
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos cell (or a matrix of them)."""
+
+    primitive: str
+    num_gpus: int
+    kind: str
+    backend: str
+    ok: bool
+    detail: str = ""
+    #: recovery counters copied off the faulted run's metrics
+    recovery: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return (
+            f"{self.primitive}/gpus={self.num_gpus}/{self.kind}"
+            f"/{self.backend}"
+        )
+
+
+def _build_inputs(rmat_scale: int, edge_factor: int, seed: int):
+    graph = generate_rmat(rmat_scale, edge_factor, seed=seed)
+    weighted = add_random_weights(graph, 1, 64, seed=2)
+    return graph, weighted
+
+
+def run_chaos_case(
+    primitive: str,
+    num_gpus: int,
+    kind: str,
+    backend: str = "serial",
+    rmat_scale: int = 7,
+    edge_factor: int = 8,
+    seed: int = 3,
+    _inputs=None,
+) -> ChaosResult:
+    """Run one chaos cell and compare against the fault-free reference."""
+    graph, weighted = _inputs or _build_inputs(rmat_scale, edge_factor, seed)
+    runner = RUNNERS[primitive]
+    kwargs: dict = {"backend": backend}
+    g = weighted if primitive == "sssp" else graph
+    if primitive in ("bfs", "dobfs", "sssp", "bc"):
+        kwargs["src"] = 0
+    if primitive == "pr":
+        kwargs["max_iter"] = 30
+    scheme = _chaos_scheme(primitive, kind)
+    if scheme is not None:
+        kwargs["scheme"] = scheme
+
+    ref, _, _ = runner(g, Machine(num_gpus), **kwargs)
+
+    plan, extra = build_chaos_plan(kind, num_gpus)
+    machine = Machine(num_gpus)
+    machine.arm_faults(plan)
+    try:
+        out, metrics, _ = runner(g, machine, **kwargs, **extra)
+    except Exception as exc:  # noqa: BLE001 - a cell reports, not raises
+        return ChaosResult(
+            primitive, num_gpus, kind, backend, ok=False,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+
+    if primitive in EXACT_PRIMITIVES:
+        same = bool(np.array_equal(out, ref))
+    else:
+        same = bool(np.allclose(out, ref))
+    recovery = {
+        "comm_retries": metrics.comm_retries,
+        "oom_recoveries": metrics.oom_recoveries,
+        "rollbacks": metrics.rollbacks,
+        "checkpoints_taken": metrics.checkpoints_taken,
+        "degraded_gpus": list(metrics.degraded_gpus),
+        "injected": dict(machine.faults.injected),
+    }
+    recovered = {
+        TRANSIENT_COMM: metrics.comm_retries > 0,
+        OOM: metrics.oom_recoveries > 0,
+        GPU_LOSS: metrics.rollbacks > 0,
+    }[kind]
+    if not same:
+        detail = "result differs from fault-free reference"
+    elif not recovered:
+        detail = f"fault never fired (recovery counters: {recovery})"
+    else:
+        detail = ""
+    return ChaosResult(
+        primitive, num_gpus, kind, backend,
+        ok=same and recovered, detail=detail, recovery=recovery,
+    )
+
+
+def run_chaos_matrix(
+    primitives: Sequence[str] = CHAOS_PRIMITIVES,
+    gpu_counts: Sequence[int] = (2, 4),
+    kinds: Sequence[str] = CHAOS_KINDS,
+    backends: Sequence[str] = ("serial", "threads"),
+    rmat_scale: int = 7,
+    edge_factor: int = 8,
+    seed: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ChaosResult]:
+    """The full chaos matrix; returns one :class:`ChaosResult` per cell."""
+    inputs = _build_inputs(rmat_scale, edge_factor, seed)
+    results: List[ChaosResult] = []
+    for primitive in primitives:
+        for n in gpu_counts:
+            for kind in kinds:
+                for backend in backends:
+                    r = run_chaos_case(
+                        primitive, n, kind, backend,
+                        rmat_scale=rmat_scale, edge_factor=edge_factor,
+                        seed=seed, _inputs=inputs,
+                    )
+                    results.append(r)
+                    if progress is not None:
+                        progress(
+                            f"{'ok  ' if r.ok else 'FAIL'} {r.name}"
+                            + (f" ({r.detail})" if r.detail else "")
+                        )
+    return results

@@ -20,6 +20,7 @@ from .dtypes import BareDtypeRule
 from .hooks import IterationHooksRule
 from .loops import HotLoopRule
 from .peer_access import PeerMutationRule
+from .swallow import SwallowedErrorRule
 from .workspace_rule import WorkspaceBypassRule
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "RawAllocationRule",
     "PeerMutationRule",
     "WorkspaceBypassRule",
+    "SwallowedErrorRule",
 ]
 
 #: every shipped rule class, in rule-ID order
@@ -46,6 +48,7 @@ DEFAULT_RULES: List[Type[Rule]] = [
     RawAllocationRule,
     PeerMutationRule,
     WorkspaceBypassRule,
+    SwallowedErrorRule,
 ]
 
 

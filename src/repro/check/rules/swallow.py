@@ -1,0 +1,101 @@
+"""REP108 ``swallowed-error``: framework errors must not vanish.
+
+Every :class:`~repro.errors.ReproError` carries structured fault context
+(gpu/iteration/site) precisely so failures stay attributable.  An
+``except`` clause that catches a ReproError subclass (or everything, via
+``except:`` / ``except Exception:``) and neither re-raises nor touches
+the bound exception erases that context — the run continues with the
+fault silently absorbed, which is indistinguishable from recovery but
+isn't one.  Handlers are fine when they contain a ``raise`` on some path
+(retry loops re-raise when the budget runs out) or when they reference
+the caught exception (recording/diagnosing it counts as handling).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ModuleContext, Rule
+
+__all__ = ["SwallowedErrorRule"]
+
+#: the repro exception hierarchy, plus the catch-alls that include it
+_REPRO_ERRORS = {
+    "ReproError",
+    "GraphFormatError",
+    "PartitionError",
+    "DeviceMemoryError",
+    "DeviceLostError",
+    "SimulationError",
+    "ConvergenceError",
+    "CommunicationError",
+}
+_CATCH_ALLS = {"Exception", "BaseException"}
+
+
+def _caught_names(handler: ast.ExceptHandler):
+    """Exception class names a handler catches ([] for a bare except)."""
+    t = handler.type
+    if t is None:
+        return []
+    elts = t.elts if isinstance(t, ast.Tuple) else [t]
+    names = []
+    for e in elts:
+        if isinstance(e, ast.Name):
+            names.append(e.id)
+        elif isinstance(e, ast.Attribute):
+            names.append(e.attr)
+    return names
+
+
+def _catches_repro_error(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except: catches everything
+    names = _caught_names(handler)
+    return any(n in _REPRO_ERRORS or n in _CATCH_ALLS for n in names)
+
+
+def _handles(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises on some path or uses the exception."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            handler.name
+            and isinstance(node, ast.Name)
+            and node.id == handler.name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return True
+    return False
+
+
+class SwallowedErrorRule(Rule):
+    """Flag except clauses that absorb ReproErrors without a trace."""
+
+    rule_id = "REP108"
+    name = "swallowed-error"
+    description = (
+        "except clauses catching ReproError (or everything) must re-raise "
+        "or reference the caught exception; silently absorbing a "
+        "framework fault erases its gpu/iteration/site context"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _catches_repro_error(node):
+                continue
+            if _handles(node):
+                continue
+            what = ", ".join(_caught_names(node)) or "everything (bare)"
+            yield self.finding(
+                ctx, node,
+                f"except clause catches {what} but neither re-raises nor "
+                "references the exception — the fault's gpu/iteration/"
+                "site context is silently discarded",
+                caught=what,
+            )

@@ -18,6 +18,12 @@ Commands
 ``check``
     Static framework-contract linter (``docs/static_analysis.md``); add
     ``--sanitize`` to ``run`` for the dynamic BSP race sanitizer.
+``chaos``
+    Seeded fault-injection matrix: every primitive must survive
+    transient link failures, allocation failures, and a permanent GPU
+    loss with results equal to the fault-free reference
+    (``docs/robustness.md``).  ``run`` also accepts ``--faults PLAN.json``
+    and ``--checkpoint-every N`` to fault a single run.
 """
 
 from __future__ import annotations
@@ -64,6 +70,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="execution backend: serial, threads, or "
                           "threads:N (results are identical; only "
                           "wall-clock changes)")
+    run.add_argument("--faults", metavar="PLAN.json",
+                     help="arm a fault plan (see repro.sim.faults."
+                          "FaultPlan) before the run")
+    run.add_argument("--checkpoint-every", type=int, metavar="N",
+                     help="snapshot run state every N supersteps so a "
+                          "permanent GPU loss can roll back and resume "
+                          "degraded")
 
     part = sub.add_parser("partition", help="compare partitioners")
     part.add_argument("--dataset", default="soc-orkut")
@@ -99,6 +112,23 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="exit 1 if the threads backend is >1.2x "
                             "slower than serial on the 4-GPU rmat BFS "
                             "case (CI regression gate)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection matrix over the six primitives",
+    )
+    chaos.add_argument("--gpus", type=int, nargs="+", default=[2, 4])
+    chaos.add_argument("--primitives", nargs="+", default=None,
+                       choices=["bfs", "dobfs", "sssp", "cc", "bc", "pr"])
+    chaos.add_argument("--kinds", nargs="+", default=None,
+                       choices=["transient-comm", "oom", "gpu-loss"])
+    chaos.add_argument("--backends", nargs="+", default=None,
+                       choices=["serial", "threads"])
+    chaos.add_argument("--rmat-scale", type=int, default=7)
+    chaos.add_argument("--seed", type=int, default=3)
+    chaos.add_argument("--smoke", action="store_true",
+                       help="CI configuration: 2 GPUs, serial backend, "
+                            "all primitives and fault kinds")
 
     check = sub.add_parser(
         "check", help="lint sources against the framework contract"
@@ -153,6 +183,12 @@ def _run_once(args, graph, scale, num_gpus, out=None):
         kwargs["sanitize"] = True
     if getattr(args, "backend", "serial") != "serial":
         kwargs["backend"] = args.backend
+    if getattr(args, "faults", None):
+        from .sim.faults import FaultPlan
+
+        machine.arm_faults(FaultPlan.load(args.faults))
+    if getattr(args, "checkpoint_every", None):
+        kwargs["checkpoint_every"] = args.checkpoint_every
     runner = RUNNERS[args.primitive]
     if args.primitive in ("bfs", "dobfs", "sssp", "bc"):
         result, metrics, _ = runner(graph, machine, src=args.src, **kwargs)
@@ -176,6 +212,17 @@ def _cmd_run(args, out) -> int:
         print(
             f"traversal rate: "
             f"{traversal_gteps(graph, result, metrics):.2f} GTEPS",
+            file=out,
+        )
+    if (metrics.comm_retries or metrics.oom_recoveries or metrics.rollbacks
+            or metrics.checkpoints_taken):
+        print(
+            f"recovery: {metrics.comm_retries} comm retries, "
+            f"{metrics.oom_recoveries} OOM regrows, "
+            f"{metrics.rollbacks} rollbacks, "
+            f"{metrics.checkpoints_taken} checkpoints"
+            + (f", degraded GPUs {metrics.degraded_gpus}"
+               if metrics.degraded_gpus else ""),
             file=out,
         )
     if metrics.sanitizer_hazards is not None:
@@ -294,6 +341,50 @@ def _cmd_bench(args, out) -> int:
     return 0
 
 
+def _cmd_chaos(args, out) -> int:
+    from .chaos import CHAOS_KINDS, CHAOS_PRIMITIVES, run_chaos_matrix
+
+    kwargs = dict(
+        primitives=tuple(args.primitives or CHAOS_PRIMITIVES),
+        gpu_counts=tuple(args.gpus),
+        kinds=tuple(args.kinds or CHAOS_KINDS),
+        backends=tuple(args.backends or ("serial", "threads")),
+        rmat_scale=args.rmat_scale,
+        seed=args.seed,
+    )
+    if args.smoke:
+        kwargs.update(gpu_counts=(2,), backends=("serial",))
+    results = run_chaos_matrix(
+        progress=lambda msg: print(f"chaos: {msg}", file=sys.stderr),
+        **kwargs,
+    )
+    rows = [
+        [
+            r.primitive, r.num_gpus, r.kind, r.backend,
+            "ok" if r.ok else "FAIL",
+            r.detail or (
+                "retries={comm_retries} oom={oom_recoveries} "
+                "rollbacks={rollbacks}".format(**r.recovery)
+            ),
+        ]
+        for r in results
+    ]
+    failed = [r for r in results if not r.ok]
+    print(
+        render_table(
+            ["primitive", "GPUs", "fault", "backend", "result", "detail"],
+            rows,
+            title=f"chaos matrix ({len(results) - len(failed)}"
+                  f"/{len(results)} recovered)",
+        ),
+        file=out,
+    )
+    if failed:
+        print(f"chaos: {len(failed)} cell(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_check(args, out) -> int:
     from .check import findings_to_json, lint_paths, render_findings
 
@@ -317,20 +408,31 @@ def _cmd_check(args, out) -> int:
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns a process exit code."""
+    from .errors import ReproError
+
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
-    if args.command == "datasets":
-        return _cmd_datasets(out)
-    if args.command == "run":
-        return _cmd_run(args, out)
-    if args.command == "partition":
-        return _cmd_partition(args, out)
-    if args.command == "sweep":
-        return _cmd_sweep(args, out)
-    if args.command == "bench":
-        return _cmd_bench(args, out)
-    if args.command == "check":
-        return _cmd_check(args, out)
+    try:
+        if args.command == "datasets":
+            return _cmd_datasets(out)
+        if args.command == "run":
+            return _cmd_run(args, out)
+        if args.command == "partition":
+            return _cmd_partition(args, out)
+        if args.command == "sweep":
+            return _cmd_sweep(args, out)
+        if args.command == "bench":
+            return _cmd_bench(args, out)
+        if args.command == "chaos":
+            return _cmd_chaos(args, out)
+        if args.command == "check":
+            return _cmd_check(args, out)
+    except ReproError as exc:
+        # one-line structured diagnosis: the exception's str() already
+        # appends [gpu=... iteration=... site=...] when known
+        print(f"repro {args.command}: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -6,6 +6,7 @@ Public surface: a primitive is a (:class:`ProblemBase`,
 Appendix A code example.
 """
 
+from .checkpoint import Checkpoint, RecoveryPolicy
 from .comm import BROADCAST, SELECTIVE, Message
 from .direction import BACKWARD, FORWARD, DirectionState
 from .enactor import Enactor
@@ -28,4 +29,6 @@ __all__ = [
     "DirectionState",
     "FORWARD",
     "BACKWARD",
+    "Checkpoint",
+    "RecoveryPolicy",
 ]

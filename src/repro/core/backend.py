@@ -81,6 +81,12 @@ class GpuStepEffects:
     #: logical byte size of each sent message, replayed onto the
     #: interconnect's traffic counters at merge time
     transfer_nbytes: List[int] = field(default_factory=list)
+    #: transient communication faults survived via retry this superstep
+    comm_retries: int = 0
+    #: virtual seconds this GPU spent in retry backoff
+    retry_seconds: float = 0.0
+    #: allocation failures survived by exact-fit regrown allocation
+    oom_recoveries: int = 0
 
 
 class ExecutionBackend:

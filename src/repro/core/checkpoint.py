@@ -1,0 +1,396 @@
+"""Barrier checkpointing and rollback routing (docs/robustness.md).
+
+A :class:`Checkpoint` is a host-side snapshot of everything a traversal
+needs to resume from a superstep barrier:
+
+* the globalized per-vertex slice arrays (each vertex's value taken from
+  its hosting GPU — the authoritative copy at a barrier);
+* the problem's :attr:`~repro.core.problem.ProblemBase.CHECKPOINT_ATTRS`
+  scalars (BC's phase machine, PR's convergence deltas, ...);
+* the iteration object's instance state;
+* per-GPU frontiers and in-flight messages, both lifted to *global*
+  vertex IDs so they survive a repartition.
+
+Everything is stored in global numbering on the host precisely so that a
+rollback can re-route state onto a *different* vertex assignment than the
+one it was captured under — that is what degraded-mode recovery after a
+permanent GPU loss does: survivors keep their sub-frontiers, the dead
+GPU's share is dealt onto its vertices' new hosts.
+
+The virtual cost of taking/restoring a checkpoint (a host round-trip of
+:attr:`Checkpoint.nbytes`) is charged by the enactor, not here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from .comm import BROADCAST, Message
+from .direction import DirectionState
+
+__all__ = [
+    "PendingMessage",
+    "Checkpoint",
+    "RecoveryPolicy",
+    "capture_checkpoint",
+    "route_restored_state",
+]
+
+#: dataclasses allowed inside checkpoint attrs / iteration state when
+#: serializing to disk (name -> class, for reconstruction)
+_DATACLASS_REGISTRY = {"DirectionState": DirectionState}
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class PendingMessage:
+    """An in-flight message lifted to global vertex numbering."""
+
+    src_gpu: int
+    dst_gpu: int
+    vertices: np.ndarray  # global IDs
+    vertex_associates: List[np.ndarray] = field(default_factory=list)
+    value_associates: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        total = int(self.vertices.nbytes)
+        for a in self.vertex_associates:
+            total += int(a.nbytes)
+        for a in self.value_associates:
+            total += int(a.nbytes)
+        return total
+
+
+@dataclass
+class RecoveryPolicy:
+    """Knobs of the enactor's fault handling (docs/robustness.md).
+
+    ``comm_backoff_base``/``cap`` are virtual seconds charged to the
+    sender's communication stream per retry: capped exponential backoff,
+    ``min(base * 2**(attempt-1), cap)``.
+    """
+
+    max_comm_retries: int = 5
+    comm_backoff_base: float = 20e-6
+    comm_backoff_cap: float = 500e-6
+    retry_oom: bool = True
+    max_rollbacks: int = 8
+
+
+@dataclass
+class Checkpoint:
+    """One barrier snapshot; see the module docstring for the contract."""
+
+    iteration: int
+    partition_table: np.ndarray
+    arrays: Dict[str, np.ndarray]
+    attrs: Dict[str, object]
+    iter_state: Dict[str, object]
+    frontiers: List[np.ndarray]  # per-GPU, global IDs
+    messages: List[PendingMessage]
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.frontiers)
+
+    @property
+    def nbytes(self) -> int:
+        """Logical snapshot size — what the host transfer is charged at."""
+        total = int(self.partition_table.nbytes)
+        for arr in self.arrays.values():
+            total += int(arr.nbytes)
+        for f in self.frontiers:
+            total += int(f.nbytes)
+        for m in self.messages:
+            total += m.nbytes
+        return total
+
+    # -- disk round-trip ---------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the snapshot as a compressed ``.npz`` archive."""
+        payload: Dict[str, np.ndarray] = {
+            "partition_table": self.partition_table
+        }
+        for name, arr in self.arrays.items():
+            payload[f"arr.{name}"] = arr
+        for g, f in enumerate(self.frontiers):
+            payload[f"frontier.{g}"] = f
+        msg_meta = []
+        for idx, m in enumerate(self.messages):
+            payload[f"msg.{idx}.v"] = m.vertices
+            for j, a in enumerate(m.vertex_associates):
+                payload[f"msg.{idx}.va{j}"] = a
+            for j, a in enumerate(m.value_associates):
+                payload[f"msg.{idx}.la{j}"] = a
+            msg_meta.append(
+                [m.src_gpu, m.dst_gpu,
+                 len(m.vertex_associates), len(m.value_associates)]
+            )
+        header = {
+            "version": _FORMAT_VERSION,
+            "iteration": self.iteration,
+            "num_gpus": self.num_gpus,
+            "array_names": list(self.arrays),
+            "messages": msg_meta,
+            "attrs": _to_jsonable(self.attrs),
+            "iter_state": _to_jsonable(self.iter_state),
+        }
+        payload["header"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+
+    @classmethod
+    def load(cls, path: str) -> "Checkpoint":
+        try:
+            data = np.load(path)
+        except (OSError, ValueError) as exc:
+            # np.load raises ValueError for non-npz bytes (its pickle
+            # fallback is disabled) and OSError for unreadable files
+            raise SimulationError(
+                f"malformed checkpoint file {path!r}: {exc}",
+                site="checkpoint.load",
+            ) from exc
+        with data:
+            try:
+                header = json.loads(bytes(data["header"]).decode("utf-8"))
+            except (KeyError, ValueError) as exc:
+                raise SimulationError(
+                    f"malformed checkpoint file {path!r}: {exc}",
+                    site="checkpoint.load",
+                )
+            if header.get("version") != _FORMAT_VERSION:
+                raise SimulationError(
+                    f"checkpoint {path!r} has unsupported version "
+                    f"{header.get('version')!r}", site="checkpoint.load",
+                )
+            arrays = {
+                name: data[f"arr.{name}"] for name in header["array_names"]
+            }
+            frontiers = [
+                data[f"frontier.{g}"] for g in range(header["num_gpus"])
+            ]
+            messages = []
+            for idx, (src, dst, n_va, n_la) in enumerate(header["messages"]):
+                messages.append(
+                    PendingMessage(
+                        src_gpu=int(src),
+                        dst_gpu=int(dst),
+                        vertices=data[f"msg.{idx}.v"],
+                        vertex_associates=[
+                            data[f"msg.{idx}.va{j}"] for j in range(n_va)
+                        ],
+                        value_associates=[
+                            data[f"msg.{idx}.la{j}"] for j in range(n_la)
+                        ],
+                    )
+                )
+            return cls(
+                iteration=int(header["iteration"]),
+                partition_table=data["partition_table"],
+                arrays=arrays,
+                attrs=_from_jsonable(header["attrs"]),
+                iter_state=_from_jsonable(header["iter_state"]),
+                frontiers=frontiers,
+                messages=messages,
+            )
+
+
+# ----------------------------------------------------------------------
+def capture_checkpoint(
+    problem, iteration_obj, iteration: int,
+    frontiers: List[np.ndarray], inboxes: List[List[tuple]],
+) -> Checkpoint:
+    """Snapshot the run at the barrier that ended ``iteration``.
+
+    ``frontiers`` are the enactor's per-GPU local-ID frontiers and
+    ``inboxes`` its per-GPU ``(arrival, Message)`` lists; both are lifted
+    to global IDs.  Arrival timestamps are dropped: after a rollback the
+    clock has moved on, so the enactor re-stamps deliveries at restore
+    time.
+    """
+    subs = problem.subgraphs
+    global_frontiers = [
+        np.asarray(subs[g].local_to_global, dtype=np.int64)[
+            np.asarray(f, dtype=np.int64)
+        ]
+        for g, f in enumerate(frontiers)
+    ]
+    messages: List[PendingMessage] = []
+    for dst, box in enumerate(inboxes):
+        l2g = np.asarray(subs[dst].local_to_global, dtype=np.int64)
+        for _arrival, msg in box:
+            messages.append(
+                PendingMessage(
+                    src_gpu=msg.src_gpu,
+                    dst_gpu=dst,
+                    vertices=l2g[np.asarray(msg.vertices, dtype=np.int64)],
+                    vertex_associates=[
+                        np.array(a, copy=True) for a in msg.vertex_associates
+                    ],
+                    value_associates=[
+                        np.array(a, copy=True) for a in msg.value_associates
+                    ],
+                )
+            )
+    return Checkpoint(
+        iteration=iteration,
+        partition_table=np.array(
+            problem.partition.partition_table, copy=True
+        ),
+        arrays=problem.snapshot_arrays(),
+        attrs=problem.snapshot_attrs(),
+        iter_state=iteration_obj.snapshot_state(),
+        frontiers=global_frontiers,
+        messages=messages,
+    )
+
+
+def _dedup_preserving_order(arr: np.ndarray) -> np.ndarray:
+    """Drop repeated IDs, keeping first occurrences in place.
+
+    A frontier is semantically a vertex *set*; merging a dead GPU's
+    rerouted share into a survivor's frontier must not double entries.
+    Order is preserved so runs without duplicates are byte-identical to
+    the pre-merge frontier.
+    """
+    if arr.size < 2:
+        return arr
+    _, first = np.unique(arr, return_index=True)
+    if first.size == arr.size:
+        return arr
+    return arr[np.sort(first)]
+
+
+def route_restored_state(
+    ckpt: Checkpoint, problem, lost,
+) -> Tuple[List[np.ndarray], List[Message]]:
+    """Map a checkpoint onto the problem's *current* vertex assignment.
+
+    Must run after :meth:`ProblemBase.repartition`; ``lost`` is the set
+    of dead GPUs.  Returns per-GPU local-ID frontiers and the re-routed
+    in-flight messages (receiver-local numbering, no arrival times).
+
+    Routing rules:
+
+    * an alive GPU keeps its own frontier and incoming messages (its
+      hosted set is unchanged by :func:`reassign_onto_survivors`);
+    * a dead GPU's frontier keeps only the vertices it *hosted* at
+      capture time — other entries were mirrored work whose hosts still
+      handle them — and each goes to its new host;
+    * selective messages addressed to a dead GPU are re-split among the
+      vertices' new hosts (associate arrays sliced alongside);
+    * broadcast messages addressed to a dead GPU are dropped: the same
+      payload was delivered to every alive peer already.
+    """
+    lost = frozenset(int(g) for g in lost)
+    n = ckpt.num_gpus
+    new_pt = problem.partition.partition_table
+    ckpt_pt = ckpt.partition_table
+
+    routed_global: List[List[np.ndarray]] = [[] for _ in range(n)]
+    for g in range(n):
+        fr = np.asarray(ckpt.frontiers[g], dtype=np.int64)
+        if g not in lost:
+            routed_global[g].append(fr)
+            continue
+        owned = fr[ckpt_pt[fr] == g]
+        for host in np.unique(new_pt[owned]):
+            routed_global[int(host)].append(owned[new_pt[owned] == host])
+
+    frontiers: List[np.ndarray] = []
+    for g in range(n):
+        parts = [p for p in routed_global[g] if p.size] or [
+            np.empty(0, dtype=np.int64)
+        ]
+        merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        merged = _dedup_preserving_order(merged)
+        frontiers.append(
+            problem.global_to_local(g, merged) if g not in lost
+            else np.empty(0, dtype=np.int64)
+        )
+
+    broadcast = problem.communication == BROADCAST
+    messages: List[Message] = []
+    for pm in ckpt.messages:
+        verts = np.asarray(pm.vertices, dtype=np.int64)
+        if pm.dst_gpu not in lost:
+            messages.append(
+                Message(
+                    pm.src_gpu, pm.dst_gpu,
+                    problem.global_to_local(pm.dst_gpu, verts),
+                    [np.array(a, copy=True) for a in pm.vertex_associates],
+                    [np.array(a, copy=True) for a in pm.value_associates],
+                )
+            )
+            continue
+        if broadcast:
+            # every alive peer got its own copy of this payload
+            continue
+        for host in np.unique(new_pt[verts]):
+            host = int(host)
+            mask = new_pt[verts] == host
+            messages.append(
+                Message(
+                    pm.src_gpu, host,
+                    problem.global_to_local(host, verts[mask]),
+                    [np.array(a[mask], copy=True)
+                     for a in pm.vertex_associates],
+                    [np.array(a[mask], copy=True)
+                     for a in pm.value_associates],
+                )
+            )
+    return frontiers, messages
+
+
+# ----------------------------------------------------------------------
+def _to_jsonable(value):
+    """Tagged JSON encoding for checkpoint attrs / iteration state."""
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if isinstance(value, np.generic):
+        return value.item()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if name not in _DATACLASS_REGISTRY:
+            raise SimulationError(
+                f"cannot serialize dataclass {name!r} in a checkpoint; "
+                f"register it in checkpoint._DATACLASS_REGISTRY",
+                site="checkpoint.save",
+            )
+        return {
+            "__dataclass__": name,
+            "fields": _to_jsonable(dataclasses.asdict(value)),
+        }
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise SimulationError(
+        f"cannot serialize {type(value).__name__!r} in a checkpoint",
+        site="checkpoint.save",
+    )
+
+
+def _from_jsonable(value):
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.array(value["__ndarray__"], dtype=value["dtype"])
+        if "__dataclass__" in value:
+            cls = _DATACLASS_REGISTRY[value["__dataclass__"]]
+            return cls(**_from_jsonable(value["fields"]))
+        return {k: _from_jsonable(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_from_jsonable(v) for v in value]
+    return value

@@ -140,22 +140,25 @@ def make_broadcast_messages(
     vertex_assoc_arrays: List[np.ndarray],
     value_assoc_arrays: List[np.ndarray],
     ids_bytes: int = 4,
+    skip=None,
 ) -> Tuple[List[Message], OpStats]:
     """Broadcast the whole frontier to every peer.
 
     Broadcasting "saves the work required to split the frontier, but
     consumes more memory and communication bandwidth" (Section III-C):
     packaging gathers once, then (n-1) copies go on the wire — H grows to
-    O((n-1)|frontier|), exactly DOBFS's Table I row.
+    O((n-1)|frontier|), exactly DOBFS's Table I row.  ``skip`` names GPUs
+    excluded from the peer set (degraded mode after a GPU loss).
     """
     frontier = np.asarray(frontier, dtype=np.int64)
     verts = sub.host_local_id[frontier]
     va = [np.asarray(a[frontier]) for a in vertex_assoc_arrays]
     la = [np.asarray(a[frontier]) for a in value_assoc_arrays]
+    skip = skip or ()
     messages = [
         Message(sub.gpu_id, peer, verts, list(va), list(la))
         for peer in range(num_gpus)
-        if peer != sub.gpu_id
+        if peer != sub.gpu_id and peer not in skip
     ]
     n_assoc = len(vertex_assoc_arrays) + len(value_assoc_arrays)
     stats = OpStats(

@@ -29,11 +29,23 @@ from typing import List, Optional, Sequence, Type, Union
 
 import numpy as np
 
-from ..errors import ConvergenceError
+from ..errors import (
+    CommunicationError,
+    ConvergenceError,
+    DeviceLostError,
+    DeviceMemoryError,
+    SimulationError,
+)
+from ..partition.base import reassign_onto_survivors
 from ..sim.machine import Machine
 from ..sim.memory import AllocationScheme, PreallocFusion
 from ..sim.metrics import IterationRecord, RunMetrics
 from .backend import ExecutionBackend, GpuStepEffects, make_backend
+from .checkpoint import (
+    RecoveryPolicy,
+    capture_checkpoint,
+    route_restored_state,
+)
 from .comm import (
     BROADCAST,
     make_broadcast_messages,
@@ -93,6 +105,18 @@ class Enactor:
         operators reuse across calls instead of allocating fresh
         temporaries.  On by default; the bench harness turns it off to
         measure the allocation-churn baseline.
+    checkpoint_every:
+        Take a barrier checkpoint every N supersteps (docs/robustness.md).
+        ``None`` disables periodic checkpoints; a baseline checkpoint is
+        still taken when a fault plan is armed on the machine, so
+        permanent-loss recovery always has something to roll back to.
+    checkpoint_path:
+        When set, every checkpoint is also written to this ``.npz`` path
+        (:meth:`repro.core.checkpoint.Checkpoint.save`) for post-mortem
+        inspection or cross-process restart.
+    recovery:
+        :class:`~repro.core.checkpoint.RecoveryPolicy` knobs for retry /
+        backoff / rollback limits (default: the documented defaults).
     """
 
     def __init__(
@@ -106,6 +130,9 @@ class Enactor:
         sanitize: bool = False,
         backend: Union[str, ExecutionBackend, None] = "serial",
         use_workspace: bool = True,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ):
         self.problem = problem
         self.machine: Machine = problem.machine
@@ -114,6 +141,15 @@ class Enactor:
         self.comm_volume_scale = comm_volume_scale
         self.comm_latency_scale = comm_latency_scale
         self.overlap_communication = overlap_communication
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise SimulationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}",
+                site="enactor.init",
+            )
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
+        self.recovery = recovery or RecoveryPolicy()
+        self._last_checkpoint = None
         self.sanitizer = None
         if sanitize:
             from ..check.sanitizer import BspSanitizer
@@ -125,13 +161,25 @@ class Enactor:
         self.workspaces: List[Optional[Workspace]] = [
             Workspace(i) if use_workspace else None for i in range(n)
         ]
+        self._setup_buffers()
+
+    def _setup_buffers(self) -> None:
+        """Size frontier/intermediate/comm buffers on every device pool.
+
+        Called at construction and again after a degraded-mode
+        repartition; lost GPUs get detached (``pool=None``) frontiers so
+        indexing stays uniform without touching dead hardware.
+        """
+        problem = self.problem
+        n = self.machine.num_gpus
+        lost = self.machine.lost_gpus
         self.frontiers_in: List[Frontier] = []
         self.frontiers_out: List[Frontier] = []
         self._intermediate_names: List[str] = []
         prefix = getattr(problem, "alloc_prefix", problem.name)
         for i in range(n):
             sub = problem.subgraphs[i]
-            pool = self.machine.gpus[i].memory
+            pool = None if i in lost else self.machine.gpus[i].memory
             vb = sub.csr.ids.vertex_bytes
             cap = self.scheme.frontier_capacity(sub.num_vertices, sub.num_edges)
             self.frontiers_in.append(Frontier(f"{prefix}.fin", pool, vb, cap))
@@ -142,13 +190,13 @@ class Enactor:
                 else 0
             )
             iname = f"{prefix}.intermediate"
-            if icap > 0:
+            if icap > 0 and pool is not None:
                 pool.alloc(iname, icap * vb)
                 self._intermediate_names.append(iname)
             else:
                 self._intermediate_names.append("")
             # communication staging buffers (send + receive), O(frontier)
-            if n > 1:
+            if n > 1 and pool is not None:
                 assoc = (
                     1
                     + problem.NUM_VERTEX_ASSOCIATES
@@ -162,8 +210,13 @@ class Enactor:
         gpu_index: int,
         stats: Sequence[OpStats],
         earliest_start: float = 0.0,
+        scale: float = 1.0,
     ) -> float:
-        """Charge operator stats on a GPU's compute stream; return seconds."""
+        """Charge operator stats on a GPU's compute stream; return seconds.
+
+        ``scale`` is an injected-straggler slowdown multiplier (1.0 when
+        no fault plan is armed).
+        """
         gpu = self.machine.gpus[gpu_index]
         km = self.machine.kernel_model
         total = 0.0
@@ -174,8 +227,9 @@ class Enactor:
                 launches=s.launches,
                 atomic_ops=s.atomic_ops,
             )
-            gpu.compute.launch(cost.total, earliest_start=earliest_start, label=s.name)
-            total += cost.total
+            dur = cost.total * scale
+            gpu.compute.launch(dur, earliest_start=earliest_start, label=s.name)
+            total += dur
         return total
 
     def _charge_frontier_growth(self, gpu_index: int, grown_items: int, item_bytes: int) -> float:
@@ -187,7 +241,12 @@ class Enactor:
         self.machine.gpus[gpu_index].compute.launch(t, label="realloc")
         return t
 
-    def _ensure_intermediate(self, gpu_index: int, stats: Sequence[OpStats]) -> None:
+    def _ensure_intermediate(
+        self,
+        gpu_index: int,
+        stats: Sequence[OpStats],
+        eff: Optional[GpuStepEffects] = None,
+    ) -> None:
         """Size the unfused advance-output buffer (just-enough growth)."""
         name = self._intermediate_names[gpu_index]
         if not name:
@@ -206,8 +265,46 @@ class Enactor:
                 # (Section VI-B: "to prevent illegal memory access,
                 # although this only happens rarely")
                 pass
-            pool.realloc(name, int(needed * vb * 1.1), preserve=False)
+            try:
+                pool.realloc(name, int(needed * vb * 1.1), preserve=False)
+            except DeviceMemoryError:
+                if (eff is None or self.machine.faults is None
+                        or not self.recovery.retry_oom):
+                    raise
+                # transient allocation failure: retry at exact fit
+                pool.realloc(name, max(needed * vb, 1), preserve=False)
+                eff.oom_recoveries += 1
             self._charge_frontier_growth(gpu_index, needed, vb)
+
+    def _set_frontier(
+        self, gpu_index: int, frontier_obj: Frontier,
+        data: np.ndarray, eff: GpuStepEffects,
+    ) -> int:
+        """:meth:`Frontier.set` with injected-OOM recovery.
+
+        A transient allocation failure during frontier growth is consumed
+        by the first raise; the recovery regrows the buffer at exact fit
+        (no slack — the conservative choice under memory pressure) and
+        re-applies the set.  Returns grown slots for cost charging.
+        """
+        try:
+            return frontier_obj.set(data)
+        except DeviceMemoryError:
+            if self.machine.faults is None or not self.recovery.retry_oom:
+                raise
+            needed = max(int(np.asarray(data).size), 1)
+            grown = max(needed - frontier_obj.capacity, 0)
+            if frontier_obj.pool is not None:
+                frontier_obj.pool.realloc(
+                    frontier_obj.name,
+                    needed * frontier_obj.item_bytes,
+                    preserve=False,
+                )
+            frontier_obj.capacity = max(frontier_obj.capacity, needed)
+            frontier_obj.grow_events += 1
+            frontier_obj.set(data)
+            eff.oom_recoveries += 1
+            return grown
 
     # ------------------------------------------------------------------
     def _gpu_superstep(
@@ -247,18 +344,27 @@ class Enactor:
         )
         if sanitizer is not None:
             sanitizer.begin_gpu(i, iteration)
+        inj = machine.faults
+        straggle = 1.0
+        if inj is not None:
+            inj.check_gpu_loss(i, iteration)
+            inj.begin_superstep(i, iteration)
+            straggle = inj.straggler_factor(i, iteration)
         compute_seconds = 0.0
         # per-iteration framework overhead (bookkeeping kernels,
         # driver API calls) — the 1-GPU part of Section V-B's l
-        gpu.compute.launch(gpu.spec.iteration_overhead, label="framework")
-        compute_seconds += gpu.spec.iteration_overhead
+        overhead = gpu.spec.iteration_overhead * straggle
+        gpu.compute.launch(overhead, label="framework")
+        compute_seconds += overhead
 
         # --- 1. combine incoming messages ----------------------
         extra_parts: List[np.ndarray] = []
         combined_items = 0
         for arrival, msg in inbox:
             verts, stats = iteration_obj.expand_incoming(ctx, msg)
-            compute_seconds += self._charge(i, stats, earliest_start=arrival)
+            compute_seconds += self._charge(
+                i, stats, earliest_start=arrival, scale=straggle
+            )
             combined_items += msg.num_items
             if verts.size:
                 extra_parts.append(np.asarray(verts, dtype=np.int64))
@@ -272,7 +378,10 @@ class Enactor:
         else:
             frontier = np.concatenate([frontier_in] + extra_parts)
         eff.frontier_size = int(frontier.size)
-        grown = self.frontiers_in[i].set(frontier)
+        if inj is None:
+            grown = self.frontiers_in[i].set(frontier)
+        else:
+            grown = self._set_frontier(i, self.frontiers_in[i], frontier, eff)
         compute_seconds += self._charge_frontier_growth(
             i, grown, self.frontiers_in[i].item_bytes
         )
@@ -280,11 +389,14 @@ class Enactor:
         # --- 2. single-GPU core --------------------------------
         out, core_stats = iteration_obj.full_queue_core(ctx, frontier)
         out = np.asarray(out, dtype=np.int64)
-        compute_seconds += self._charge(i, core_stats)
-        self._ensure_intermediate(i, core_stats)
+        compute_seconds += self._charge(i, core_stats, scale=straggle)
+        self._ensure_intermediate(i, core_stats, eff)
         eff.edges_visited = sum(s.edges_visited for s in core_stats)
         eff.vertices_processed = sum(s.vertices_processed for s in core_stats)
-        grown = self.frontiers_out[i].set(out)
+        if inj is None:
+            grown = self.frontiers_out[i].set(out)
+        else:
+            grown = self._set_frontier(i, self.frontiers_out[i], out, eff)
         compute_seconds += self._charge_frontier_growth(
             i, grown, self.frontiers_out[i].item_bytes
         )
@@ -297,10 +409,11 @@ class Enactor:
             la = list(iteration_obj.value_associate_arrays(ctx))
             if problem.communication == BROADCAST:
                 msgs, pstats = make_broadcast_messages(
-                    sub, out, n, va, la, ids_bytes=ctx.ids_bytes
+                    sub, out, n, va, la, ids_bytes=ctx.ids_bytes,
+                    skip=machine.lost_gpus,
                 )
                 local_part = out
-                compute_seconds += self._charge(i, [pstats])
+                compute_seconds += self._charge(i, [pstats], scale=straggle)
             else:
                 local_part, remote, sstats = split_frontier(
                     sub, out, ids_bytes=ctx.ids_bytes
@@ -308,24 +421,64 @@ class Enactor:
                 msgs, pstats = make_selective_messages(
                     sub, remote, va, la, ids_bytes=ctx.ids_bytes
                 )
-                compute_seconds += self._charge(i, [sstats, pstats])
+                compute_seconds += self._charge(
+                    i, [sstats, pstats], scale=straggle
+                )
             send_ready = gpu.compute.record_event()
             # empty sub-frontiers send no payload; the
             # frontier-length handshake is part of the barrier's
             # synchronization latency, not a tracked message
-            msgs = [m for m in msgs if m.num_items > 0]
+            msgs = [
+                m for m in msgs
+                if m.num_items > 0 and m.dst_gpu not in machine.lost_gpus
+            ]
             ids = problem.graph.ids
             for msg in msgs:
                 nbytes = int(msg.nbytes(ids) * self.comm_volume_scale)
-                dur = machine.interconnect.transfer_cost(
-                    i,
-                    msg.dst_gpu,
-                    nbytes,
-                    latency_scale=self.comm_latency_scale,
-                )
+                start_at = send_ready.timestamp
+                if inj is None:
+                    dur = machine.interconnect.transfer_cost(
+                        i,
+                        msg.dst_gpu,
+                        nbytes,
+                        latency_scale=self.comm_latency_scale,
+                    )
+                else:
+                    attempt = 0
+                    while True:
+                        try:
+                            dur = machine.interconnect.transfer_cost(
+                                i,
+                                msg.dst_gpu,
+                                nbytes,
+                                latency_scale=self.comm_latency_scale,
+                                iteration=iteration,
+                            )
+                            break
+                        except CommunicationError:
+                            # transient link failure: back off (charged on
+                            # the comm stream) and retry, up to the
+                            # policy's cap
+                            attempt += 1
+                            if attempt > self.recovery.max_comm_retries:
+                                raise
+                            backoff = min(
+                                self.recovery.comm_backoff_base
+                                * (2 ** (attempt - 1)),
+                                self.recovery.comm_backoff_cap,
+                            )
+                            bev = gpu.comm.launch(
+                                backoff,
+                                earliest_start=start_at,
+                                label=f"retry->{msg.dst_gpu}",
+                            )
+                            start_at = bev.timestamp
+                            comm_seconds += backoff
+                            eff.comm_retries += 1
+                            eff.retry_seconds += backoff
                 ev = gpu.comm.launch(
                     dur,
-                    earliest_start=send_ready.timestamp,
+                    earliest_start=start_at,
                     label=f"send->{msg.dst_gpu}",
                 )
                 comm_seconds += dur
@@ -344,6 +497,106 @@ class Enactor:
         return eff
 
     # ------------------------------------------------------------------
+    def _take_checkpoint(
+        self,
+        iteration: int,
+        iteration_obj: IterationBase,
+        frontiers: List[np.ndarray],
+        inboxes: List[List[tuple]],
+        metrics: RunMetrics,
+    ) -> None:
+        """Snapshot the run at the current barrier and charge its cost.
+
+        The snapshot crosses the host link from every surviving GPU in
+        parallel (each pushes its share), then a full barrier makes the
+        checkpoint a globally consistent point on the virtual clock.
+        """
+        machine = self.machine
+        ckpt = capture_checkpoint(
+            self.problem, iteration_obj, iteration, frontiers, inboxes
+        )
+        self._last_checkpoint = ckpt
+        if self.checkpoint_path is not None:
+            ckpt.save(self.checkpoint_path)
+        alive = machine.alive_gpus
+        host = machine.interconnect.host_link
+        share = ckpt.nbytes / max(len(alive), 1)
+        dur = host.latency + share * machine.interconnect.scale / host.bandwidth
+        for g in alive:
+            machine.gpus[g].comm.launch(dur, label="checkpoint")
+        machine.barrier()
+        metrics.checkpoints_taken += 1
+        metrics.checkpoint_bytes += ckpt.nbytes
+        metrics.checkpoint_seconds += dur
+
+    def _recover_gpu_loss(
+        self,
+        losses: List[DeviceLostError],
+        iteration_obj: IterationBase,
+        metrics: RunMetrics,
+    ):
+        """Roll back to the last checkpoint minus the lost GPUs.
+
+        Marks the GPUs dead, deals their checkpointed vertices onto the
+        survivors, rebuilds subgraphs/slices/buffers, restores array and
+        scalar state from the checkpoint, and re-routes the checkpointed
+        frontiers and in-flight messages onto the new assignment.
+        Returns ``(resume_iteration, frontiers, inboxes)``.
+        """
+        machine = self.machine
+        problem = self.problem
+        n = machine.num_gpus
+        ckpt = self._last_checkpoint
+        if ckpt is None:
+            # cannot happen through enact() (a baseline checkpoint is
+            # taken whenever faults are armed) but guard direct callers
+            raise losses[0]
+        metrics.rollbacks += 1
+        if metrics.rollbacks > self.recovery.max_rollbacks:
+            raise SimulationError(
+                f"aborting after rollback {metrics.rollbacks}: the machine "
+                f"keeps losing GPUs (recovery.max_rollbacks="
+                f"{self.recovery.max_rollbacks})",
+                gpu_id=losses[0].gpu_id,
+                iteration=losses[0].iteration,
+                site="enactor.recover",
+            ) from losses[0]
+        for exc in losses:
+            machine.lose_gpu(exc.gpu_id)
+        metrics.degraded_gpus = sorted(machine.lost_gpus)
+        t0 = machine.clock.now
+        new_assignment = reassign_onto_survivors(
+            ckpt.partition_table, machine.lost_gpus, n
+        )
+        self._release_buffers()
+        problem.repartition(new_assignment, dead=machine.lost_gpus)
+        self._setup_buffers()
+        problem.restore_arrays(ckpt.arrays)
+        problem.restore_attrs(ckpt.attrs)
+        iteration_obj.restore_state(ckpt.iter_state)
+        problem.on_repartition(dead=machine.lost_gpus)
+        frontiers, messages = route_restored_state(
+            ckpt, problem, machine.lost_gpus
+        )
+        # survivors re-read the snapshot over the host link; the barrier
+        # then resumes everyone at a common post-restore time (the clock
+        # never rewinds — rollback costs time, it does not undo it)
+        alive = machine.alive_gpus
+        host = machine.interconnect.host_link
+        share = ckpt.nbytes / max(len(alive), 1)
+        dur = host.latency + share * machine.interconnect.scale / host.bandwidth
+        for g in alive:
+            machine.gpus[g].comm.launch(dur, label="restore")
+        machine.barrier()
+        now = machine.clock.now
+        inboxes: List[List[tuple]] = [[] for _ in range(n)]
+        for msg in messages:
+            inboxes[msg.dst_gpu].append((now, msg))
+        metrics.restore_seconds += now - t0
+        frontiers = [np.asarray(f, dtype=np.int64) for f in frontiers]
+        return ckpt.iteration + 1, frontiers, inboxes
+
+    # ------------------------------------------------------------------
     def enact(self, **reset_kwargs) -> RunMetrics:
         """Run the primitive to convergence; returns the run's metrics."""
         problem = self.problem
@@ -351,6 +604,15 @@ class Enactor:
         n = machine.num_gpus
         iteration_obj = self.iteration_cls(problem)
         sanitizer = self.sanitizer
+        protected = (
+            machine.faults is not None or self.checkpoint_every is not None
+        )
+        if sanitizer is not None and protected:
+            raise SimulationError(
+                "sanitize=True cannot be combined with fault injection or "
+                "checkpointing: shadow-memory wrappers do not survive a "
+                "rollback/repartition", site="enactor.enact",
+            )
         init_frontiers = problem.reset(**reset_kwargs)
         machine.reset()
         if sanitizer is not None:
@@ -367,34 +629,68 @@ class Enactor:
             primitive=problem.name,
             scale=machine.scale,
         )
+        self._last_checkpoint = None
+        if protected:
+            # baseline checkpoint at "iteration -1": the post-reset state,
+            # so even an iteration-0 GPU loss has a rollback target
+            self._take_checkpoint(
+                -1, iteration_obj, frontiers, inboxes, metrics
+            )
 
         iteration = 0
         while True:
             if iteration > iteration_obj.max_iterations():
                 raise ConvergenceError(
                     f"{problem.name} did not converge within "
-                    f"{iteration_obj.max_iterations()} iterations"
+                    f"{iteration_obj.max_iterations()} iterations",
+                    iteration=iteration, site="enactor.enact",
                 )
             rec = IterationRecord(iteration)
             iter_start = machine.clock.now
             next_inboxes: List[List[tuple]] = [[] for _ in range(n)]
 
-            step_fns = [
-                (
-                    lambda idx=i: self._gpu_superstep(
-                        idx, iteration, iteration_obj,
-                        frontiers[idx], inboxes[idx],
+            if machine.faults is None:
+                step_fns = [
+                    (lambda idx=i, _it=iteration, _obj=iteration_obj:
+                        self._gpu_superstep(
+                            idx, _it, _obj, frontiers[idx], inboxes[idx]
+                        ))
+                    for i in range(n)
+                ]
+                results = self.backend.map_supersteps(step_fns)
+            else:
+                # every superstep runs to completion on both backends;
+                # device losses are returned (not raised) so one
+                # superstep's losses are collected together and handled
+                # in a single rollback
+                def guarded_step(idx, _it=iteration, _obj=iteration_obj):
+                    try:
+                        return self._gpu_superstep(
+                            idx, _it, _obj, frontiers[idx], inboxes[idx]
+                        )
+                    except DeviceLostError as exc:
+                        return exc
+
+                step_fns = [
+                    (lambda idx=i: guarded_step(idx))
+                    for i in machine.alive_gpus
+                ]
+                results = self.backend.map_supersteps(step_fns)
+                machine.faults.end_iteration()
+                losses = [
+                    r for r in results if isinstance(r, DeviceLostError)
+                ]
+                if losses:
+                    iteration, frontiers, inboxes = self._recover_gpu_loss(
+                        losses, iteration_obj, metrics
                     )
-                )
-                for i in range(n)
-            ]
-            effects = self.backend.map_supersteps(step_fns)
+                    continue
 
             # merge staged cross-GPU effects in GPU-index order — the
             # exact mutation order of the old serial loop, so records,
             # inbox ordering, and traffic counters are bit-identical no
             # matter where the supersteps actually ran
-            for eff in effects:
+            for eff in results:
                 i = eff.gpu
                 if eff.comm_compute_items is not None:
                     rec.comm_compute_items[i] = eff.comm_compute_items
@@ -412,6 +708,9 @@ class Enactor:
                 frontiers[i] = eff.frontier
                 rec.compute_time[i] = eff.compute_seconds
                 rec.comm_time[i] = eff.comm_seconds
+                metrics.comm_retries += eff.comm_retries
+                metrics.retry_seconds += eff.retry_seconds
+                metrics.oom_recoveries += eff.oom_recoveries
 
             inboxes = next_inboxes
             machine.barrier(compute_only=self.overlap_communication)
@@ -426,19 +725,28 @@ class Enactor:
                 iteration, [f.size for f in frontiers], in_flight
             ):
                 break
+            # the snapshot must include should_stop's effects (BC's phase
+            # transitions happen there), so checkpoint after it — but only
+            # on iterations the run continues past
+            if (
+                self.checkpoint_every is not None
+                and (iteration + 1) % self.checkpoint_every == 0
+            ):
+                self._take_checkpoint(
+                    iteration, iteration_obj, frontiers, inboxes, metrics
+                )
             iteration += 1
 
         metrics.elapsed = machine.clock.now
-        for i in range(n):
+        for i in machine.alive_gpus:
             metrics.peak_memory[i] = machine.gpus[i].memory.peak
             metrics.num_reallocs += machine.gpus[i].memory.num_reallocs
         if sanitizer is not None:
             metrics.sanitizer_hazards = sanitizer.report()
         return metrics
 
-    def release(self) -> None:
-        """Free the enactor's device buffers (frontiers, comm staging)."""
-        self.backend.close()
+    def _release_buffers(self) -> None:
+        """Free frontier/intermediate/comm allocations on every pool."""
         n = self.machine.num_gpus
         for i in range(n):
             pool = self.machine.gpus[i].memory
@@ -450,3 +758,8 @@ class Enactor:
             cname = f"{getattr(self.problem, 'alloc_prefix', self.problem.name)}.comm"
             if pool.size_of(cname) is not None:
                 pool.free(cname)
+
+    def release(self) -> None:
+        """Free the enactor's device buffers (frontiers, comm staging)."""
+        self.backend.close()
+        self._release_buffers()

@@ -54,6 +54,11 @@ class IterationBase:
     the iteration loop when all frontiers are empty").
     """
 
+    #: instance attributes excluded from checkpoints: references to
+    #: structures the enactor rebuilds (the problem) and caches that
+    #: :meth:`on_restore` re-derives.  Subclasses extend this set.
+    SNAPSHOT_EXCLUDE = frozenset({"problem"})
+
     def __init__(self, problem: ProblemBase):
         self.problem = problem
 
@@ -113,3 +118,31 @@ class IterationBase:
     def direction_of(self, gpu: int) -> str:
         """Traversal direction label for metrics (DOBFS overrides)."""
         return ""
+
+    # -- checkpoint hooks (docs/robustness.md) -------------------------------
+    def snapshot_state(self) -> dict:
+        """Deep-copied instance state for a barrier checkpoint.
+
+        Everything in ``__dict__`` except :attr:`SNAPSHOT_EXCLUDE` is
+        captured; the copy is isolated so later supersteps cannot mutate
+        a taken checkpoint.
+        """
+        import copy
+
+        return {
+            k: copy.deepcopy(v)
+            for k, v in self.__dict__.items()
+            if k not in self.SNAPSHOT_EXCLUDE
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore from :meth:`snapshot_state` (the checkpoint survives
+        repeated rollbacks: values are copied in, never moved)."""
+        import copy
+
+        for k, v in state.items():
+            setattr(self, k, copy.deepcopy(v))
+        self.on_restore()
+
+    def on_restore(self) -> None:
+        """Invalidate caches after a rollback (subclasses override)."""

@@ -104,6 +104,10 @@ class ProblemBase:
     #: frontier; in-place primitives (PR's accumulate, CC's hook+jump)
     #: never need the O(|E|) buffer regardless of the allocation scheme
     uses_intermediate: bool = True
+    #: scalar/object attributes (beyond slice arrays) that a barrier
+    #: checkpoint must capture — e.g. BC's phase machine, PR's per-GPU
+    #: convergence deltas (see docs/robustness.md)
+    CHECKPOINT_ATTRS: tuple = ()
 
     def __init__(
         self,
@@ -140,6 +144,7 @@ class ProblemBase:
                 "broadcast payload cannot be valid on every receiver"
             )
         partitioner = partitioner or RandomPartitioner()
+        self.charge_memory = charge_memory
         self.partition = partitioner.partition(graph, self.num_gpus)
         self.subgraphs: List[SubGraph] = build_subgraphs(
             graph, self.partition, self.duplication
@@ -148,9 +153,19 @@ class ProblemBase:
         seq = getattr(machine, "_problem_seq", 0)
         machine._problem_seq = seq + 1
         self.alloc_prefix = f"{self.name}#{seq}"
-        self.data_slices: List[DataSlice] = []
+        self._build_data_slices(dead=frozenset())
+
+    def _build_data_slices(self, dead: frozenset) -> None:
+        """(Re)create per-GPU data slices for the current subgraphs.
+
+        ``dead`` GPUs get a slice without device-memory accounting (their
+        hardware is gone; the host-side arrays exist only so indexing
+        stays uniform — with an empty hosted set they carry no results).
+        """
+        self.data_slices = []
         for gpu in range(self.num_gpus):
-            pool = machine.gpus[gpu].memory if charge_memory else None
+            charge = self.charge_memory and gpu not in dead
+            pool = self.machine.gpus[gpu].memory if charge else None
             if pool is not None:
                 pool.alloc(
                     f"{self.alloc_prefix}.subgraph",
@@ -210,3 +225,125 @@ class ProblemBase:
                 f"{self.alloc_prefix}.subgraph"
             ) is not None:
                 pool.free(f"{self.alloc_prefix}.subgraph")
+
+    # -- checkpoint / recovery API (docs/robustness.md) ---------------------
+    def per_vertex_array_names(self) -> List[str]:
+        """Slice arrays indexed by local vertex ID on every GPU.
+
+        These are the arrays a checkpoint globalizes via :meth:`extract`.
+        Structural arrays with other shapes (e.g. CC's per-edge
+        ``edge_src``) are rebuilt by :meth:`init_data_slice` and need no
+        snapshot.
+        """
+        names = []
+        for name in self.data_slices[0].arrays:
+            if all(
+                self.data_slices[g].arrays[name].shape[:1]
+                == (self.subgraphs[g].num_vertices,)
+                for g in range(self.num_gpus)
+            ):
+                names.append(name)
+        return names
+
+    def snapshot_arrays(self) -> Dict[str, np.ndarray]:
+        """Globalized copies of every per-vertex slice array."""
+        return {name: self.extract(name)
+                for name in self.per_vertex_array_names()}
+
+    def restore_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Scatter globalized arrays back into every GPU's slice.
+
+        Proxy (non-hosted) entries receive the hosting GPU's value —
+        the authoritative one at the checkpointed barrier.
+        """
+        for name, global_arr in arrays.items():
+            for gpu in range(self.num_gpus):
+                sub = self.subgraphs[gpu]
+                if name not in self.data_slices[gpu]:
+                    continue
+                self.data_slices[gpu][name][:] = (
+                    global_arr[sub.local_to_global]
+                )
+
+    def snapshot_attrs(self) -> Dict[str, Any]:
+        """Deep-copied :attr:`CHECKPOINT_ATTRS` values."""
+        import copy
+
+        return {name: copy.deepcopy(getattr(self, name))
+                for name in self.CHECKPOINT_ATTRS}
+
+    def restore_attrs(self, attrs: Dict[str, Any]) -> None:
+        import copy
+
+        for name, value in attrs.items():
+            setattr(self, name, copy.deepcopy(value))
+
+    def global_to_local(self, gpu: int, global_ids: np.ndarray) -> np.ndarray:
+        """Map global vertex IDs into ``gpu``'s local numbering.
+
+        Every requested vertex must exist in the subgraph (hosted or
+        1-hop proxy); a miss means the caller routed state to the wrong
+        GPU and raises :class:`~repro.errors.PartitionError`.
+        """
+        ids = np.asarray(global_ids, dtype=np.int64)
+        if self.duplication == DUPLICATE_ALL:
+            return ids
+        sub = self.subgraphs[gpu]
+        inverse = np.full(self.graph.num_vertices, -1, dtype=np.int64)
+        inverse[sub.local_to_global] = np.arange(
+            sub.num_vertices, dtype=np.int64
+        )
+        out = inverse[ids]
+        if out.size and out.min() < 0:
+            missing = ids[out < 0][:4]
+            raise PartitionError(
+                f"vertices {missing.tolist()} are not present on GPU {gpu}",
+                gpu_id=gpu, site="problem.global_to_local",
+            )
+        return out
+
+    def repartition(self, assignment: np.ndarray, dead=frozenset()) -> None:
+        """Rebuild subgraphs and slices for a new vertex assignment.
+
+        Used by degraded-mode recovery: after a permanent GPU loss the
+        enactor reassigns the dead GPU's vertices onto survivors and
+        calls this, then restores array *contents* from the checkpoint
+        (``init_data_slice`` reinitializes them here).  The machine keeps
+        its GPU count — dead GPUs get empty-hosted subgraphs so existing
+        indexing stays valid.
+        """
+        dead = frozenset(int(g) for g in dead)
+        assignment = np.asarray(assignment)
+        if assignment.shape != (self.graph.num_vertices,):
+            raise PartitionError(
+                f"assignment has shape {assignment.shape}, expected "
+                f"({self.graph.num_vertices},)", site="problem.repartition",
+            )
+        if dead and np.isin(assignment, list(dead)).any():
+            raise PartitionError(
+                "new assignment routes vertices to a lost GPU",
+                site="problem.repartition",
+            )
+        from ..partition.base import PartitionResult
+
+        for ds in self.data_slices:
+            pool = ds.pool
+            ds.release()
+            if pool is not None and pool.size_of(
+                f"{self.alloc_prefix}.subgraph"
+            ) is not None:
+                pool.free(f"{self.alloc_prefix}.subgraph")
+        self.partition = PartitionResult.from_assignment(
+            assignment, self.num_gpus
+        )
+        self.subgraphs = build_subgraphs(
+            self.graph, self.partition, self.duplication
+        )
+        self._build_data_slices(dead=dead)
+
+    def on_repartition(self, dead=frozenset()) -> None:
+        """Hook run after repartition + state restore completes.
+
+        Primitives with partition-derived caches (PR's hosted/border
+        frontiers) or per-GPU convergence state recompute them here.
+        """

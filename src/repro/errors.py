@@ -3,15 +3,24 @@
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch framework errors without catching programming errors (``TypeError``
 etc. are still raised for API misuse at the boundary).
+
+Every :class:`ReproError` carries optional structured fault context —
+``gpu_id``, ``iteration``, ``site`` — so a failure deep inside a superstep
+is attributable (which GPU, which BSP iteration, which subsystem) without
+a debugger.  Context is appended to ``str(exc)`` when present and is also
+machine-readable via :attr:`ReproError.context`.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Optional, Union
 
 __all__ = [
     "ReproError",
     "GraphFormatError",
     "PartitionError",
     "DeviceMemoryError",
+    "DeviceLostError",
     "SimulationError",
     "ConvergenceError",
     "CommunicationError",
@@ -19,7 +28,58 @@ __all__ = [
 
 
 class ReproError(Exception):
-    """Base class for all library errors."""
+    """Base class for all library errors.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    gpu_id:
+        Virtual GPU the failure is attributed to, if any.
+    iteration:
+        BSP superstep during which the failure occurred, if known.
+    site:
+        Subsystem/location tag, e.g. ``"interconnect.send[0->1]"`` or
+        ``"memory.alloc[bfs#0.fin]"``.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *args: object,
+        gpu_id: Optional[int] = None,
+        iteration: Optional[int] = None,
+        site: Optional[str] = None,
+    ):
+        super().__init__(message, *args)
+        self.gpu_id = gpu_id
+        self.iteration = iteration
+        self.site = site
+
+    @property
+    def context(self) -> Dict[str, Union[int, str]]:
+        """The non-empty structured context fields as a dict."""
+        ctx: Dict[str, Union[int, str]] = {}
+        if self.gpu_id is not None:
+            ctx["gpu_id"] = self.gpu_id
+        if self.iteration is not None:
+            ctx["iteration"] = self.iteration
+        if self.site is not None:
+            ctx["site"] = self.site
+        return ctx
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        parts = []
+        if self.gpu_id is not None:
+            parts.append(f"gpu={self.gpu_id}")
+        if self.iteration is not None:
+            parts.append(f"iteration={self.iteration}")
+        if self.site is not None:
+            parts.append(f"site={self.site}")
+        if not parts:
+            return base
+        return f"{base} [{' '.join(parts)}]"
 
 
 class GraphFormatError(ReproError):
@@ -37,6 +97,16 @@ class DeviceMemoryError(ReproError):
     exceed device capacity.  This is the simulated analogue of
     ``cudaErrorMemoryAllocation`` and is what the just-enough allocation
     scheme (paper Section VI-B) exists to avoid.
+    """
+
+
+class DeviceLostError(ReproError):
+    """A virtual GPU was lost permanently (``cudaErrorDeviceUnavailable``).
+
+    Unlike :class:`DeviceMemoryError` or a transient
+    :class:`CommunicationError`, this is not retryable on the same device:
+    recovery requires rolling back to a checkpoint and repartitioning the
+    lost GPU's subgraph onto the survivors (see ``docs/robustness.md``).
     """
 
 

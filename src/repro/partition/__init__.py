@@ -1,6 +1,6 @@
 """Graph partitioning: partitioners, borders, vertex duplication."""
 
-from .base import PartitionResult, Partitioner
+from .base import PartitionResult, Partitioner, reassign_onto_survivors
 from .biased_random import BiasedRandomPartitioner
 from .border import BorderStats, border_matrix, border_stats, edge_cut
 from .duplication import (
@@ -15,6 +15,7 @@ from .random_part import RandomPartitioner
 __all__ = [
     "Partitioner",
     "PartitionResult",
+    "reassign_onto_survivors",
     "RandomPartitioner",
     "BiasedRandomPartitioner",
     "MetisLikePartitioner",

@@ -22,7 +22,7 @@ import numpy as np
 from ..errors import PartitionError
 from ..graph.csr import CsrGraph
 
-__all__ = ["PartitionResult", "Partitioner"]
+__all__ = ["PartitionResult", "Partitioner", "reassign_onto_survivors"]
 
 
 @dataclass
@@ -124,3 +124,27 @@ class Partitioner(ABC):
 def partitioner_registry() -> List[str]:
     """Names of the built-in partitioners (for CLI/bench sweeps)."""
     return ["random", "biased-random", "metis"]
+
+
+def reassign_onto_survivors(
+    partition_table: np.ndarray, lost_gpus, num_gpus: int
+) -> np.ndarray:
+    """Deal a lost GPU's vertices round-robin onto the survivors.
+
+    Degraded-mode recovery keeps every surviving GPU's assignment intact
+    (their subgraphs and frontiers stay meaningful) and spreads only the
+    orphaned vertices, preserving balance to within one vertex per
+    survivor.  Deterministic: orphans are dealt in global-ID order.
+    """
+    lost = {int(g) for g in lost_gpus}
+    survivors = np.array(
+        [g for g in range(num_gpus) if g not in lost], dtype=np.int32
+    )
+    if survivors.size == 0:
+        raise PartitionError("no surviving GPUs to reassign onto")
+    assignment = np.asarray(partition_table).astype(np.int32).copy()
+    orphans = np.flatnonzero(np.isin(assignment, list(lost)))
+    assignment[orphans] = survivors[
+        np.arange(orphans.size, dtype=np.int64) % survivors.size
+    ]
+    return assignment

@@ -58,6 +58,9 @@ class BCProblem(ProblemBase):
         "sigma": combine.SUM,
         "delta": combine.SUM,
     }
+    # the phase machine is mutated by reset() AND should_stop(); a barrier
+    # checkpoint must capture all of it or a rollback resumes mid-phase
+    CHECKPOINT_ATTRS = ("phase", "max_depth", "level", "communication")
 
     def init_data_slice(self, ds: DataSlice, sub: SubGraph) -> None:
         ids = sub.csr.ids

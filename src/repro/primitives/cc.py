@@ -70,11 +70,18 @@ class CCProblem(ProblemBase):
 class CCIteration(IterationBase):
     """Local hook+jump fixpoint, broadcast of changed component IDs."""
 
+    # the cached views point into pre-rollback edge_src allocations,
+    # which a repartition replaces wholesale
+    SNAPSHOT_EXCLUDE = IterationBase.SNAPSHOT_EXCLUDE | {"_src64"}
+
     def __init__(self, problem):
         super().__init__(problem)
         # edge_src never changes after init; cache its int64 view per GPU
         # instead of an O(|Ei|) astype every superstep
         self._src64: dict = {}
+
+    def on_restore(self) -> None:
+        self._src64 = {}
 
     def full_queue_core(
         self, ctx: GpuContext, frontier: np.ndarray

@@ -53,6 +53,9 @@ class DOBFSProblem(ProblemBase):
         "in_frontier": combine.ANY,
         "preds": combine.WITNESS,
     }
+    # the per-GPU direction machines mutate every iteration and decide
+    # coverage; a rollback must rewind them with the rest of the state
+    CHECKPOINT_ATTRS = ("directions",)
 
     def __init__(self, *args, do_a: float = 0.01, do_b: float = 0.1,
                  mark_predecessors: bool = False, **kwargs):
@@ -109,6 +112,10 @@ class DOBFSProblem(ProblemBase):
 class DOBFSIteration(IterationBase):
     """Dual-direction core with the FV/BV switching rule."""
 
+    # the bitmap-bit record is a cache over slice arrays the enactor
+    # restores separately; on_restore re-derives it from scratch
+    SNAPSHOT_EXCLUDE = IterationBase.SNAPSHOT_EXCLUDE | {"_prev_in_frontier"}
+
     def __init__(self, problem):
         super().__init__(problem)
         # per-GPU record of which bitmap bits the last backward pass set,
@@ -116,6 +123,11 @@ class DOBFSIteration(IterationBase):
         # always a superset of the set bits (problem.reset only clears),
         # so a stale record after reset() is harmless
         self._prev_in_frontier: dict = {}
+
+    def on_restore(self) -> None:
+        # forces the next backward pass to rebuild the bitmap with a full
+        # fill instead of trusting pre-rollback bookkeeping
+        self._prev_in_frontier = {}
 
     def _decide_direction(
         self, ctx: GpuContext, frontier_size: int

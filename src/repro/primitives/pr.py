@@ -44,6 +44,9 @@ class PRProblem(ProblemBase):
     # partial rank shares atomicAdd-combine (Algorithm 3); "rank" itself
     # is only ever written by the hosting GPU, so it needs no combiner
     combiners = {"acc": combine.SUM}
+    # per-GPU convergence deltas live outside the data slices; a rollback
+    # must restore them or should_stop() reads post-fault values
+    CHECKPOINT_ATTRS = ("max_delta",)
 
     def __init__(
         self,
@@ -62,11 +65,16 @@ class PRProblem(ProblemBase):
         self.max_iter = max_iter
         self.personalization = personalization
         super().__init__(*args, **kwargs)
-        # Fixed per-GPU sub-frontiers, computed once (paper: "we get all
-        # these sub-frontiers during the initialization step"):
-        #  - hosted: the vertices this GPU updates every iteration;
-        #  - border: proxy vertices with local in-edges, whose accumulated
-        #    contributions are pushed to their hosting GPUs.
+        self._compute_fixed_frontiers()
+
+    def _compute_fixed_frontiers(self) -> None:
+        """Fixed per-GPU sub-frontiers, computed once (paper: "we get all
+        these sub-frontiers during the initialization step"):
+
+        - hosted: the vertices this GPU updates every iteration;
+        - border: proxy vertices with local in-edges, whose accumulated
+          contributions are pushed to their hosting GPUs.
+        """
         self.hosted_frontiers: List[np.ndarray] = []
         self.border_frontiers: List[np.ndarray] = []
         for sub in self.subgraphs:
@@ -75,6 +83,15 @@ class PRProblem(ProblemBase):
             border = targets[sub.host_of_local[targets] != sub.gpu_id]
             self.hosted_frontiers.append(hosted)
             self.border_frontiers.append(border)
+
+    def on_repartition(self, dead=frozenset()) -> None:
+        """Recompute the fixed sub-frontiers for the new assignment, and
+        retire dead GPUs from the convergence vote: their ``max_delta``
+        entries would otherwise stay at the rolled-back value forever and
+        ``should_stop`` would never see convergence."""
+        self._compute_fixed_frontiers()
+        if dead:
+            self.max_delta[list(dead)] = 0.0
 
     def init_data_slice(self, ds: DataSlice, sub: SubGraph) -> None:
         ids = sub.csr.ids

@@ -8,6 +8,16 @@ BSP ``W + H*g + S*l`` behaviour the paper analyzes.
 
 from .clock import VirtualClock
 from .device import K40, K80_HALF, P100, DeviceSpec, VirtualGPU
+from .faults import (
+    FAULT_KINDS,
+    GPU_LOSS,
+    OOM,
+    STRAGGLER,
+    TRANSIENT_COMM,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
 from .interconnect import NVLINK, PCIE3_HOST, PCIE3_PEER, Interconnect, LinkSpec
 from .kernel import KernelCost, KernelModel
 from .machine import DEFAULT_SCALE, Machine, k40_node, k80_node, p100_node
@@ -25,6 +35,14 @@ from .stream import Event, Stream
 
 __all__ = [
     "VirtualClock",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "FAULT_KINDS",
+    "TRANSIENT_COMM",
+    "OOM",
+    "STRAGGLER",
+    "GPU_LOSS",
     "DeviceSpec",
     "VirtualGPU",
     "K40",

@@ -97,6 +97,7 @@ class VirtualGPU:
                 capacity=spec.memory_bytes,
                 scale=scale,
                 owner=f"GPU{device_id}",
+                gpu_id=device_id,
             ),
         )
         # Gunrock separates computation and communication into different

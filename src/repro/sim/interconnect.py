@@ -17,6 +17,7 @@ paper's minimal-workload experiment (Section V-B).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Set
 
 from ..errors import CommunicationError
 
@@ -86,11 +87,17 @@ class Interconnect:
         self.scale = float(scale)
         self.total_bytes = 0  # scaled bytes moved, for reporting
         self.total_messages = 0
+        #: armed FaultInjector, or None (the common, zero-overhead case)
+        self.faults = None
+        #: GPUs lost permanently; transfers touching them are refused
+        #: (shared with Machine.lost_gpus once a loss occurs)
+        self.lost_gpus: Set[int] = set()
 
     def _check(self, gpu: int) -> None:
         if not 0 <= gpu < self.num_gpus:
             raise CommunicationError(
-                f"GPU id {gpu} out of range [0, {self.num_gpus})"
+                f"GPU id {gpu} out of range [0, {self.num_gpus})",
+                gpu_id=gpu, site="interconnect.link",
             )
 
     def link(self, src: int, dst: int) -> LinkSpec:
@@ -98,13 +105,23 @@ class Interconnect:
         self._check(src)
         self._check(dst)
         if src == dst:
-            raise CommunicationError("no link from a GPU to itself")
+            raise CommunicationError(
+                "no link from a GPU to itself",
+                gpu_id=src, site="interconnect.link",
+            )
+        if self.lost_gpus and (src in self.lost_gpus or dst in self.lost_gpus):
+            lost = src if src in self.lost_gpus else dst
+            raise CommunicationError(
+                f"link endpoint GPU {lost} was lost",
+                gpu_id=lost, site=f"interconnect.link[{src}->{dst}]",
+            )
         if src // self.peer_group_size == dst // self.peer_group_size:
             return self.peer_link
         return self.host_link
 
     def transfer_cost(
-        self, src: int, dst: int, nbytes: int, latency_scale: float = 1.0
+        self, src: int, dst: int, nbytes: int, latency_scale: float = 1.0,
+        iteration: Optional[int] = None,
     ) -> float:
         """Time to move ``nbytes`` logical bytes from ``src`` to ``dst``.
 
@@ -115,9 +132,21 @@ class Interconnect:
         a message).  ``latency_scale`` supports the paper's Section V-A
         sensitivity experiment (latency inflated 10x showed "no
         appreciable difference").
+
+        ``iteration`` is fault-injection context: when a
+        :class:`~repro.sim.faults.FaultInjector` is armed, a pending
+        transient fault on this link raises
+        :class:`~repro.errors.CommunicationError` instead of returning a
+        cost (the caller's retry loop then re-invokes at backoff cost).
         """
         if nbytes < 0:
-            raise CommunicationError("negative transfer size")
+            raise CommunicationError(
+                "negative transfer size",
+                gpu_id=src, iteration=iteration,
+                site=f"interconnect.send[{src}->{dst}]",
+            )
+        if self.faults is not None:
+            self.faults.check_comm(src, dst, iteration)
         lk = self.link(src, dst)
         return lk.latency * latency_scale + nbytes * self.scale / lk.bandwidth
 

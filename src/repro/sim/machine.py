@@ -10,7 +10,7 @@ helpers build the paper's three test systems:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from .clock import VirtualClock
 from .device import K40, K80_HALF, P100, DeviceSpec, VirtualGPU
@@ -68,16 +68,74 @@ class Machine:
             VirtualGPU.create(i, spec, self.scale) for i in range(num_gpus)
         ]
         self.kernel_model = KernelModel(spec, self.scale)
+        #: armed FaultInjector, or None (the common, zero-overhead case)
+        self.faults = None
+        #: permanently lost GPU ids (degraded mode); shared with the
+        #: interconnect so transfers to a dead device are refused
+        self.lost_gpus: Set[int] = set()
 
     def gpu(self, i: int) -> VirtualGPU:
         return self.gpus[i]
 
+    @property
+    def alive_gpus(self) -> List[int]:
+        """Indices of GPUs still operating (all of them until a loss)."""
+        if not self.lost_gpus:
+            return list(range(self.num_gpus))
+        return [i for i in range(self.num_gpus) if i not in self.lost_gpus]
+
+    def lose_gpu(self, gpu: int) -> None:
+        """Mark ``gpu`` permanently lost (degraded mode).
+
+        The device's streams and memory are abandoned as-is; the
+        interconnect starts refusing links that touch it.  Loss is not
+        undone by :meth:`reset` — it models broken hardware.
+        """
+        if not 0 <= gpu < self.num_gpus:
+            raise ValueError(f"GPU id {gpu} out of range")
+        self.lost_gpus.add(gpu)
+        self.interconnect.lost_gpus = self.lost_gpus
+
+    def arm_faults(self, plan) -> "object":
+        """Arm a :class:`~repro.sim.faults.FaultPlan` (or an injector).
+
+        Returns the armed :class:`~repro.sim.faults.FaultInjector`.  The
+        injector is shared with the interconnect and every GPU's memory
+        pool; all their hot-path hooks stay single ``is None`` checks
+        when nothing is armed.
+        """
+        from .faults import FaultInjector, FaultPlan
+
+        if isinstance(plan, FaultPlan):
+            injector = FaultInjector(plan, self.num_gpus)
+        else:
+            injector = plan
+        self.faults = injector
+        self.interconnect.faults = injector
+        for g in self.gpus:
+            g.memory.faults = injector
+        return injector
+
+    def disarm_faults(self) -> None:
+        """Remove any armed fault injector (hooks become no-ops again)."""
+        self.faults = None
+        self.interconnect.faults = None
+        for g in self.gpus:
+            g.memory.faults = None
+
     def reset(self) -> None:
-        """Reset all timelines and traffic counters (memory stays)."""
+        """Reset all timelines and traffic counters (memory stays).
+
+        An armed fault plan is re-armed from scratch so that repeated
+        ``enact()`` calls replay the same fault sequence deterministically.
+        Lost GPUs stay lost (hardware does not heal on reset).
+        """
         self.clock.reset()
         self.interconnect.reset_counters()
         for g in self.gpus:
             g.reset_time()
+        if self.faults is not None:
+            self.faults.reset()
 
     def barrier(
         self, extra_latency: bool = True, compute_only: bool = False
@@ -95,17 +153,23 @@ class Machine:
         (Section III-B "Manage GPUs"): receivers block on the specific
         arrival events they need, not on a global flush.
 
+        In degraded mode only surviving GPUs participate: lost devices
+        neither contribute to nor pay the synchronization cost.
+
         Returns the post-barrier time.
         """
-        if compute_only:
-            t = max(
-                (g.compute.available_at for g in self.gpus), default=0.0
-            )
+        if self.lost_gpus:
+            gpus = [g for i, g in enumerate(self.gpus)
+                    if i not in self.lost_gpus]
         else:
-            t = max((g.busy_until() for g in self.gpus), default=0.0)
+            gpus = self.gpus
+        if compute_only:
+            t = max((g.compute.available_at for g in gpus), default=0.0)
+        else:
+            t = max((g.busy_until() for g in gpus), default=0.0)
         if extra_latency:
-            t += self.interconnect.sync_latency(self.num_gpus)
-        for g in self.gpus:
+            t += self.interconnect.sync_latency(len(gpus))
+        for g in gpus:
             streams = [g.compute] if compute_only else list(g.streams.values())
             for s in streams:
                 s.available_at = max(s.available_at, t)

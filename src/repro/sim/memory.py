@@ -57,12 +57,21 @@ class MemoryPool:
     scaling").
     """
 
-    def __init__(self, capacity: int, scale: float = 1.0, owner: str = "GPU"):
+    def __init__(
+        self,
+        capacity: int,
+        scale: float = 1.0,
+        owner: str = "GPU",
+        gpu_id: Optional[int] = None,
+    ):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = int(capacity)
         self.scale = float(scale)
         self.owner = owner
+        self.gpu_id = gpu_id
+        #: armed FaultInjector, or None (the common, zero-overhead case)
+        self.faults = None
         self._allocs: Dict[str, Allocation] = {}
         self._in_use = 0  # scaled bytes
         self._peak = 0
@@ -91,17 +100,21 @@ class MemoryPool:
         """Allocate ``nbytes`` logical bytes under ``name``."""
         if name in self._allocs:
             raise DeviceMemoryError(
-                f"{self.owner}: allocation {name!r} already exists"
+                f"{self.owner}: allocation {name!r} already exists",
+                gpu_id=self.gpu_id, site=f"memory.alloc[{name}]",
             )
         if nbytes < 0:
             raise ValueError("allocation size must be non-negative")
+        if self.faults is not None:
+            self.faults.check_alloc(self.gpu_id, name)
         charged = self.scaled(nbytes)
         if self._in_use + charged > self.capacity:
             raise DeviceMemoryError(
                 f"{self.owner}: out of memory allocating {name!r} "
                 f"({charged / 2**30:.2f} GiB scaled; "
                 f"{self.free_bytes / 2**30:.2f} GiB free of "
-                f"{self.capacity / 2**30:.2f} GiB)"
+                f"{self.capacity / 2**30:.2f} GiB)",
+                gpu_id=self.gpu_id, site=f"memory.alloc[{name}]",
             )
         a = Allocation(name, nbytes)
         self._allocs[name] = a
@@ -112,7 +125,10 @@ class MemoryPool:
     def free(self, name: str) -> None:
         a = self._allocs.pop(name, None)
         if a is None:
-            raise DeviceMemoryError(f"{self.owner}: no allocation {name!r}")
+            raise DeviceMemoryError(
+                f"{self.owner}: no allocation {name!r}",
+                gpu_id=self.gpu_id, site=f"memory.free[{name}]",
+            )
         self._in_use -= self.scaled(a.nbytes)
 
     def realloc(self, name: str, nbytes: int, preserve: bool = True) -> Allocation:
@@ -129,12 +145,15 @@ class MemoryPool:
         """
         if name not in self._allocs:
             return self.alloc(name, nbytes)
+        if self.faults is not None:
+            self.faults.check_alloc(self.gpu_id, name)
         old = self._allocs[name]
         if preserve:
             transient = self._in_use + self.scaled(nbytes)
             if transient > self.capacity:
                 raise DeviceMemoryError(
-                    f"{self.owner}: out of memory reallocating {name!r}"
+                    f"{self.owner}: out of memory reallocating {name!r}",
+                    gpu_id=self.gpu_id, site=f"memory.realloc[{name}]",
                 )
             self._peak = max(self._peak, transient)
             self._in_use = transient - self.scaled(old.nbytes)
@@ -144,7 +163,8 @@ class MemoryPool:
             )
             if new_in_use > self.capacity:
                 raise DeviceMemoryError(
-                    f"{self.owner}: out of memory reallocating {name!r}"
+                    f"{self.owner}: out of memory reallocating {name!r}",
+                    gpu_id=self.gpu_id, site=f"memory.realloc[{name}]",
                 )
             self._in_use = new_in_use
             self._peak = max(self._peak, self._in_use)

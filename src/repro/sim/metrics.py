@@ -68,6 +68,26 @@ class RunMetrics:
     #: (``Enactor(sanitize=True)``); ``None`` when the run was unsanitized
     sanitizer_hazards: Optional[List[dict]] = None
 
+    # -- fault-recovery observability (docs/robustness.md) ----------------
+    #: transient communication faults survived via retry
+    comm_retries: int = 0
+    #: virtual seconds spent in retry backoff across all GPUs
+    retry_seconds: float = 0.0
+    #: allocation failures survived by regrown (exact-fit) allocation
+    oom_recoveries: int = 0
+    #: checkpoint snapshots taken at barriers
+    checkpoints_taken: int = 0
+    #: logical bytes captured by the most recent checkpoint
+    checkpoint_bytes: int = 0
+    #: virtual seconds charged for taking checkpoints (critical path)
+    checkpoint_seconds: float = 0.0
+    #: rollbacks to a checkpoint after permanent GPU loss
+    rollbacks: int = 0
+    #: virtual seconds charged for restoring state after rollbacks
+    restore_seconds: float = 0.0
+    #: GPUs permanently lost during the run (degraded-mode set)
+    degraded_gpus: List[int] = field(default_factory=list)
+
     # -- BSP aggregates ---------------------------------------------------
     @property
     def supersteps(self) -> int:
@@ -157,6 +177,17 @@ class RunMetrics:
             "num_reallocs": self.num_reallocs,
             "peak_memory": {str(k): v for k, v in self.peak_memory.items()},
             "load_imbalance": self.load_imbalance(),
+            "recovery": {
+                "comm_retries": self.comm_retries,
+                "retry_seconds": self.retry_seconds,
+                "oom_recoveries": self.oom_recoveries,
+                "checkpoints_taken": self.checkpoints_taken,
+                "checkpoint_bytes": self.checkpoint_bytes,
+                "checkpoint_seconds": self.checkpoint_seconds,
+                "rollbacks": self.rollbacks,
+                "restore_seconds": self.restore_seconds,
+                "degraded_gpus": list(self.degraded_gpus),
+            },
             "iterations": [
                 {
                     "iteration": r.iteration,

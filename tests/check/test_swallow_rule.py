@@ -1,0 +1,109 @@
+"""REP108 swallowed-error: except clauses must not absorb ReproErrors."""
+
+from repro.check import lint_source
+
+
+def ids_of(findings):
+    return [f.rule_id for f in findings]
+
+
+PREAMBLE = '''
+"""doc"""
+from repro.errors import CommunicationError, DeviceMemoryError, ReproError
+'''
+
+
+class TestSwallowedErrorRule:
+    def test_silent_pass_flagged(self):
+        src = PREAMBLE + '''
+def f():
+    try:
+        g()
+    except CommunicationError:
+        pass
+'''
+        findings = lint_source(src, "t.py")
+        assert "REP108" in ids_of(findings)
+        assert any("CommunicationError" in f.message for f in findings)
+
+    def test_bare_except_flagged(self):
+        src = PREAMBLE + '''
+def f():
+    try:
+        g()
+    except:
+        return None
+'''
+        assert "REP108" in ids_of(lint_source(src, "t.py"))
+
+    def test_catch_all_exception_flagged(self):
+        src = PREAMBLE + '''
+def f():
+    try:
+        g()
+    except Exception:
+        return -1
+'''
+        assert "REP108" in ids_of(lint_source(src, "t.py"))
+
+    def test_tuple_catch_flagged(self):
+        src = PREAMBLE + '''
+def f():
+    try:
+        g()
+    except (KeyError, DeviceMemoryError):
+        return None
+'''
+        assert "REP108" in ids_of(lint_source(src, "t.py"))
+
+    def test_reraise_ok(self):
+        src = PREAMBLE + '''
+def f(budget):
+    try:
+        g()
+    except CommunicationError:
+        if budget <= 0:
+            raise
+        retry()
+'''
+        assert "REP108" not in ids_of(lint_source(src, "t.py"))
+
+    def test_recording_exception_ok(self):
+        src = PREAMBLE + '''
+def f(log):
+    try:
+        g()
+    except ReproError as exc:
+        log.append(str(exc))
+'''
+        assert "REP108" not in ids_of(lint_source(src, "t.py"))
+
+    def test_raising_something_else_ok(self):
+        src = PREAMBLE + '''
+def f():
+    try:
+        g()
+    except DeviceMemoryError:
+        raise RuntimeError("wrapped")
+'''
+        assert "REP108" not in ids_of(lint_source(src, "t.py"))
+
+    def test_unrelated_exceptions_ignored(self):
+        src = PREAMBLE + '''
+def f():
+    try:
+        g()
+    except (KeyError, ValueError):
+        pass
+'''
+        assert "REP108" not in ids_of(lint_source(src, "t.py"))
+
+    def test_bound_but_unused_flagged(self):
+        src = PREAMBLE + '''
+def f():
+    try:
+        g()
+    except ReproError as exc:
+        return None
+'''
+        assert "REP108" in ids_of(lint_source(src, "t.py"))

@@ -1,0 +1,145 @@
+"""The robustness acceptance gate: the full seeded chaos matrix.
+
+Every primitive, at 2 and 4 GPUs, on both execution backends, must
+survive transient link failures, allocation failures, and a permanent
+GPU loss — and produce results equal to the fault-free reference
+(bit-exact for the integer-valued primitives, allclose for PR/BC).
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    CHAOS_KINDS,
+    CHAOS_PRIMITIVES,
+    build_chaos_plan,
+    run_chaos_case,
+    run_chaos_matrix,
+)
+from repro.errors import DeviceLostError, SimulationError
+from repro.primitives.bfs import run_bfs
+from repro.primitives.pr import run_pagerank
+from repro.sim.faults import (
+    GPU_LOSS,
+    STRAGGLER,
+    TRANSIENT_COMM,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.sim.machine import Machine
+
+
+@pytest.mark.parametrize("primitive", CHAOS_PRIMITIVES)
+@pytest.mark.parametrize("kind", CHAOS_KINDS)
+def test_chaos_cell_serial(primitive, kind):
+    r = run_chaos_case(primitive, 2, kind, backend="serial")
+    assert r.ok, f"{r.name}: {r.detail}"
+
+
+def test_chaos_matrix_full():
+    results = run_chaos_matrix()
+    failed = [r for r in results if not r.ok]
+    assert not failed, "; ".join(f"{r.name}: {r.detail}" for r in failed)
+    assert len(results) == (
+        len(CHAOS_PRIMITIVES) * 2 * len(CHAOS_KINDS) * 2
+    )
+
+
+class TestRecoverySemantics:
+    def test_loss_without_checkpoint_raises(self, small_rmat):
+        machine = Machine(2)
+        machine.arm_faults(
+            FaultPlan([FaultSpec(GPU_LOSS, gpu=1, iteration=1)])
+        )
+        # faults armed but checkpointing still captures the baseline at
+        # iteration -1, so the run recovers even without --checkpoint-every
+        ref, _, _ = run_bfs(small_rmat, Machine(2), src=0)
+        labels, metrics, _ = run_bfs(small_rmat, machine, src=0)
+        assert np.array_equal(labels, ref)
+        assert metrics.rollbacks == 1
+
+    def test_degraded_metrics_exposed(self, small_rmat):
+        machine = Machine(4)
+        machine.arm_faults(
+            FaultPlan([FaultSpec(GPU_LOSS, gpu=3, iteration=1)])
+        )
+        ref, base, _ = run_bfs(small_rmat, Machine(4), src=0)
+        labels, metrics, _ = run_bfs(
+            small_rmat, machine, src=0, checkpoint_every=2
+        )
+        assert np.array_equal(labels, ref)
+        assert metrics.degraded_gpus == [3]
+        assert metrics.rollbacks == 1
+        assert metrics.restore_seconds > 0
+        assert metrics.checkpoints_taken >= 1
+        # rollback + restore + degraded machine costs virtual time
+        assert metrics.elapsed > base.elapsed
+
+    def test_multi_loss_single_superstep(self, small_rmat):
+        machine = Machine(4)
+        machine.arm_faults(FaultPlan([
+            FaultSpec(GPU_LOSS, gpu=2, iteration=1),
+            FaultSpec(GPU_LOSS, gpu=3, iteration=1),
+        ]))
+        ref, _, _ = run_bfs(small_rmat, Machine(4), src=0)
+        labels, metrics, _ = run_bfs(
+            small_rmat, machine, src=0, checkpoint_every=2
+        )
+        assert np.array_equal(labels, ref)
+        # both losses land in one superstep -> one combined rollback
+        assert metrics.rollbacks == 1
+        assert metrics.degraded_gpus == [2, 3]
+
+    def test_straggler_changes_time_not_results(self, small_rmat):
+        ref, base, _ = run_pagerank(small_rmat, Machine(2), max_iter=20)
+        machine = Machine(2)
+        machine.arm_faults(FaultPlan([
+            FaultSpec(STRAGGLER, gpu=0, iteration=1, factor=4.0,
+                      duration=5),
+        ]))
+        ranks, metrics, _ = run_pagerank(small_rmat, machine, max_iter=20)
+        assert np.allclose(ranks, ref)
+        assert metrics.elapsed > base.elapsed
+
+    def test_retries_charge_virtual_time(self, small_rmat):
+        ref, base, _ = run_bfs(small_rmat, Machine(2), src=0)
+        machine = Machine(2)
+        machine.arm_faults(FaultPlan([
+            FaultSpec(TRANSIENT_COMM, gpu=g, iteration=0, count=2)
+            for g in range(2)
+        ]))
+        labels, metrics, _ = run_bfs(small_rmat, machine, src=0)
+        assert np.array_equal(labels, ref)
+        assert metrics.comm_retries == 4
+        assert metrics.retry_seconds > 0
+
+    def test_retry_budget_exhaustion_reraises(self, small_rmat):
+        from repro.core.checkpoint import RecoveryPolicy
+        from repro.errors import CommunicationError
+
+        machine = Machine(2)
+        machine.arm_faults(FaultPlan([
+            FaultSpec(TRANSIENT_COMM, gpu=0, iteration=0, count=50),
+        ]))
+        with pytest.raises(CommunicationError):
+            run_bfs(small_rmat, machine, src=0,
+                    recovery=RecoveryPolicy(max_comm_retries=3))
+
+    def test_bad_chaos_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_chaos_plan("cosmic-ray", 2)
+
+    def test_faults_are_deterministic(self, small_rmat):
+        def one_run():
+            machine = Machine(4)
+            machine.arm_faults(FaultPlan([
+                FaultSpec(TRANSIENT_COMM, gpu=0, iteration=0, count=2),
+                FaultSpec(GPU_LOSS, gpu=3, iteration=1),
+            ]))
+            return run_bfs(small_rmat, machine, src=0, checkpoint_every=2)
+
+        labels_a, metrics_a, _ = one_run()
+        labels_b, metrics_b, _ = one_run()
+        assert np.array_equal(labels_a, labels_b)
+        assert metrics_a.elapsed == metrics_b.elapsed
+        assert metrics_a.comm_retries == metrics_b.comm_retries

@@ -143,3 +143,74 @@ class TestSanitizeFlag:
         )
         assert code == 0
         assert "sanitizer: clean" in text
+
+
+class TestFaultsFlag:
+    def _plan(self, tmp_path, *specs):
+        from repro.sim.faults import FaultPlan
+
+        path = tmp_path / "plan.json"
+        FaultPlan(list(specs)).save(path)
+        return str(path)
+
+    def test_faulted_run_reports_recovery(self, tmp_path):
+        from repro.sim.faults import FaultSpec
+
+        plan = self._plan(
+            tmp_path,
+            FaultSpec("gpu-loss", gpu=1, iteration=1),
+        )
+        code, text = run_cli(
+            "run", "bfs", "--dataset", "soc-LiveJournal1", "--gpus", "2",
+            "--faults", plan, "--checkpoint-every", "2",
+        )
+        assert code == 0
+        assert "recovery:" in text
+        assert "1 rollbacks" in text
+        assert "degraded GPUs [1]" in text
+
+    def test_fault_free_run_prints_no_recovery_line(self):
+        _, text = run_cli(
+            "run", "bfs", "--dataset", "soc-LiveJournal1", "--gpus", "2"
+        )
+        assert "recovery:" not in text
+
+    def test_repro_error_is_one_line_diagnosis(self, tmp_path, capsys):
+        from repro.sim.faults import FaultSpec
+
+        # a plan targeting a GPU the machine doesn't have: structured
+        # SimulationError -> one-line stderr diagnosis, exit 1
+        plan = self._plan(
+            tmp_path, FaultSpec("oom", gpu=7, iteration=0)
+        )
+        code, _ = run_cli(
+            "run", "bfs", "--dataset", "soc-LiveJournal1", "--gpus", "2",
+            "--faults", plan,
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "SimulationError" in err
+        assert "site=faults.plan" in err
+
+    def test_sanitize_and_faults_mutually_exclusive(self, tmp_path, capsys):
+        from repro.sim.faults import FaultSpec
+
+        plan = self._plan(
+            tmp_path, FaultSpec("oom", gpu=0, iteration=0)
+        )
+        code, _ = run_cli(
+            "run", "bfs", "--dataset", "soc-LiveJournal1", "--gpus", "2",
+            "--faults", plan, "--sanitize",
+        )
+        assert code == 1
+        assert "SimulationError" in capsys.readouterr().err
+
+
+class TestChaos:
+    def test_smoke_matrix_recovers(self):
+        code, text = run_cli(
+            "chaos", "--smoke", "--primitives", "bfs",
+            "--kinds", "transient-comm", "gpu-loss",
+        )
+        assert code == 0
+        assert "2/2 recovered" in text
