@@ -10,7 +10,13 @@ under three configurations:
 * ``serial`` — serial dispatch, workspace arenas on (the new default);
 * ``threads`` — thread-pool dispatch, workspace arenas on;
 * ``serial_noworkspace`` — serial dispatch, workspace arenas off (the
-  pre-optimization allocation-churn baseline).
+  pre-optimization allocation-churn baseline);
+* ``serial_traced`` — serial dispatch with a live ``obs.Tracer``
+  attached, measuring the *enabled* cost of the observability layer
+  (``overhead_traced`` per case).  The *disabled* cost is the plain
+  ``serial`` variant itself: every untraced run already executes the
+  ``tracer is None`` guards, so comparing ``serial`` against a baseline
+  ``BENCH_2.json`` (``--baseline``) bounds it directly.
 
 Every result records the host's CPU count: the ``threads`` backend can
 only overlap supersteps across *cores* (NumPy kernels release the GIL,
@@ -41,11 +47,14 @@ __all__ = ["run_bench", "BENCH_PRIMITIVES", "DEFAULT_GPU_COUNTS"]
 BENCH_PRIMITIVES = ("bfs", "dobfs", "sssp", "cc", "bc", "pr")
 DEFAULT_GPU_COUNTS = (1, 2, 4)
 
-#: measurement variants: name -> Enactor kwargs
+#: measurement variants: name -> Enactor kwargs (``traced`` is a harness
+#: sentinel popped by ``_time_variant``, not an Enactor parameter)
 _VARIANTS = {
     "serial": {"backend": "serial", "use_workspace": True},
     "threads": {"backend": "threads", "use_workspace": True},
     "serial_noworkspace": {"backend": "serial", "use_workspace": False},
+    "serial_traced": {"backend": "serial", "use_workspace": True,
+                      "traced": True},
 }
 
 
@@ -119,6 +128,12 @@ def _time_variant(
     """Median wall-clock ms of ``enact()`` (after one warmup run), plus
     the run's supersteps and the workspace arenas' counters."""
     machine = Machine(num_gpus)
+    tracer = None
+    if enactor_kwargs.pop("traced", False):
+        from .obs import Tracer
+
+        tracer = Tracer()
+        enactor_kwargs["tracer"] = tracer
     enactor, enact_kwargs = _make_enactor(
         primitive, graph, machine, **enactor_kwargs
     )
@@ -128,6 +143,8 @@ def _time_variant(
             ws.reset_counters()
     samples = []
     for _ in range(repeats):
+        if tracer is not None:
+            tracer.clear()  # steady-state tracing cost, bounded memory
         t0 = time.perf_counter()
         metrics = enactor.enact(**enact_kwargs)
         samples.append((time.perf_counter() - t0) * 1e3)
@@ -181,8 +198,10 @@ def run_bench(
                 ser = case["variants"]["serial"]["median_ms"]
                 thr = case["variants"]["threads"]["median_ms"]
                 nws = case["variants"]["serial_noworkspace"]["median_ms"]
+                trd = case["variants"]["serial_traced"]["median_ms"]
                 case["speedup_threads"] = ser / thr if thr else 0.0
                 case["speedup_workspace"] = nws / ser if ser else 0.0
+                case["overhead_traced"] = trd / ser if ser else 0.0
                 cases.append(case)
     result = {
         "schema": "repro-bench-2",
@@ -238,3 +257,70 @@ def check_threads_regression(
                 )
             return None
     return f"no bench case for {gpus}-GPU {primitive} on rmat"
+
+
+def check_tracing_overhead(
+    result: dict, primitive: str = "bfs", gpus: int = 4, max_ratio: float = 1.5
+) -> Optional[str]:
+    """CI gate: a live tracer must cost at most ``max_ratio`` x serial on
+    the given RMAT case.  Returns an error string, or None if OK."""
+    for case in result["cases"]:
+        if (
+            case["primitive"] == primitive
+            and case["gpus"] == gpus
+            and case["dataset"] == "rmat"
+        ):
+            ser = case["variants"]["serial"]["median_ms"]
+            trd = case["variants"]["serial_traced"]["median_ms"]
+            if trd > ser * max_ratio:
+                return (
+                    f"traced run {trd:.2f} ms vs serial {ser:.2f} ms on "
+                    f"{gpus}-GPU {primitive} (> {max_ratio:.2f}x)"
+                )
+            return None
+    return f"no bench case for {gpus}-GPU {primitive} on rmat"
+
+
+def check_baseline_overhead(
+    result: dict, baseline: dict, max_overhead: float = 1.05
+) -> Optional[str]:
+    """Tracing-disabled regression gate against a previous bench file.
+
+    Compares every case's plain ``serial`` median (which executes all the
+    ``tracer is None`` guards) against the same case in ``baseline``.
+    Returns an error string on violation, a ``"skipped: ..."`` string
+    when the runs are not comparable (different config or host, where
+    wall-clock ratios are meaningless), or None when within bounds.
+    """
+    if baseline.get("config") != result.get("config"):
+        return "skipped: baseline config differs from this run"
+    if baseline.get("host", {}).get("cpu_count") != \
+            result.get("host", {}).get("cpu_count"):
+        return "skipped: baseline host differs from this run"
+    base_cases = {
+        (c["dataset"], c["primitive"], c["gpus"]): c
+        for c in baseline.get("cases", [])
+    }
+    worst = None
+    for case in result["cases"]:
+        key = (case["dataset"], case["primitive"], case["gpus"])
+        ref = base_cases.get(key)
+        if ref is None:
+            continue
+        ser = case["variants"]["serial"]["median_ms"]
+        ref_ser = ref["variants"]["serial"]["median_ms"]
+        if not ref_ser:
+            continue
+        ratio = ser / ref_ser
+        if worst is None or ratio > worst[0]:
+            worst = (ratio, key, ser, ref_ser)
+    if worst is None:
+        return "skipped: no overlapping cases with the baseline"
+    ratio, key, ser, ref_ser = worst
+    if ratio > max_overhead:
+        return (
+            f"serial {ser:.2f} ms vs baseline {ref_ser:.2f} ms on "
+            f"{key[2]}-GPU {key[1]}/{key[0]} "
+            f"({ratio:.3f}x > {max_overhead:.2f}x)"
+        )
+    return None

@@ -144,9 +144,16 @@ def run_chaos_case(
     rmat_scale: int = 7,
     edge_factor: int = 8,
     seed: int = 3,
+    check_events: bool = True,
     _inputs=None,
 ) -> ChaosResult:
-    """Run one chaos cell and compare against the fault-free reference."""
+    """Run one chaos cell and compare against the fault-free reference.
+
+    With ``check_events`` (the default) the faulted run is traced through
+    an in-memory event bus and every recovery event count is asserted
+    against the matching ``RunMetrics`` counter — retries, OOM regrows,
+    rollbacks, and checkpoints must agree exactly, or the cell fails.
+    """
     graph, weighted = _inputs or _build_inputs(rmat_scale, edge_factor, seed)
     runner = RUNNERS[primitive]
     kwargs: dict = {"backend": backend}
@@ -164,6 +171,15 @@ def run_chaos_case(
     plan, extra = build_chaos_plan(kind, num_gpus)
     machine = Machine(num_gpus)
     machine.arm_faults(plan)
+    tracer = None
+    bus_records: List[dict] = []
+    if check_events:
+        from .obs import EventBus, Tracer
+
+        bus = EventBus()
+        bus.subscribe(bus_records.append)
+        tracer = Tracer(bus=bus)
+        extra = dict(extra, tracer=tracer)
     try:
         out, metrics, _ = runner(g, machine, **kwargs, **extra)
     except Exception as exc:  # noqa: BLE001 - a cell reports, not raises
@@ -189,15 +205,43 @@ def run_chaos_case(
         OOM: metrics.oom_recoveries > 0,
         GPU_LOSS: metrics.rollbacks > 0,
     }[kind]
+    event_mismatch = ""
+    if tracer is not None:
+        counts = {
+            t: sum(1 for r in bus_records if r.get("type") == t)
+            for t in ("recovery.retry", "recovery.oom-regrow",
+                      "recovery.rollback", "checkpoint")
+        }
+        recovery["events"] = counts
+        expected = {
+            "recovery.retry": metrics.comm_retries,
+            "recovery.oom-regrow": metrics.oom_recoveries,
+            "recovery.rollback": metrics.rollbacks,
+            "checkpoint": metrics.checkpoints_taken,
+        }
+        bad = {
+            t: (counts[t], want)
+            for t, want in expected.items()
+            if counts[t] != want
+        }
+        if bad:
+            event_mismatch = (
+                "recovery events disagree with RunMetrics counters: "
+                + ", ".join(
+                    f"{t} emitted {got} but counter says {want}"
+                    for t, (got, want) in sorted(bad.items())
+                )
+            )
     if not same:
         detail = "result differs from fault-free reference"
     elif not recovered:
         detail = f"fault never fired (recovery counters: {recovery})"
     else:
-        detail = ""
+        detail = event_mismatch
     return ChaosResult(
         primitive, num_gpus, kind, backend,
-        ok=same and recovered, detail=detail, recovery=recovery,
+        ok=same and recovered and not event_mismatch,
+        detail=detail, recovery=recovery,
     )
 
 

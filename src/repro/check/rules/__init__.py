@@ -19,6 +19,7 @@ from .combiners import UndeclaredCombinerRule
 from .dtypes import BareDtypeRule
 from .hooks import IterationHooksRule
 from .loops import HotLoopRule
+from .obs_guard import UnguardedTracerRule
 from .peer_access import PeerMutationRule
 from .swallow import SwallowedErrorRule
 from .workspace_rule import WorkspaceBypassRule
@@ -37,6 +38,7 @@ __all__ = [
     "PeerMutationRule",
     "WorkspaceBypassRule",
     "SwallowedErrorRule",
+    "UnguardedTracerRule",
 ]
 
 #: every shipped rule class, in rule-ID order
@@ -49,6 +51,7 @@ DEFAULT_RULES: List[Type[Rule]] = [
     PeerMutationRule,
     WorkspaceBypassRule,
     SwallowedErrorRule,
+    UnguardedTracerRule,
 ]
 
 

@@ -1,0 +1,228 @@
+"""REP109 ``unguarded-tracer``: obs hooks must keep the None fast-path.
+
+The observability layer (``repro.obs``) is opt-in: every instrumented
+object carries a plain ``tracer`` attribute that is ``None`` in the
+common case, and every hook site must be wrapped in a single
+``if tracer is None`` / ``is not None`` check — the same zero-overhead
+discipline ``sim/faults.py`` established for fault hooks.  A call like
+``self.tracer.instant(...)`` without that guard either crashes the
+untraced hot path (``AttributeError: 'NoneType'``) or, worse, tempts the
+author into a try/except that hides the cost.  This rule finds method
+calls on maybe-``None`` tracer expressions that no ``is None`` guard
+dominates.
+
+Maybe-``None`` tracer expressions are: any attribute named ``tracer``
+(``self.tracer``, ``ctx.tracer``, ...), a local alias assigned from one
+(``tracer = self.tracer``), and a parameter named ``tracer``/``_tracer``
+whose default is ``None``.  Names bound by a constructor call
+(``tracer = Tracer()``) and parameters without a ``None`` default are
+known non-``None`` and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from .base import ModuleContext, Rule
+
+__all__ = ["UnguardedTracerRule"]
+
+_TRACER_NAMES = {"tracer", "_tracer"}
+_TERMINAL = (ast.Return, ast.Continue, ast.Break, ast.Raise)
+
+
+def _expr_key(node: ast.AST) -> Optional[str]:
+    """Dotted-name key for Name/Attribute chains (``self.tracer``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _expr_key(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _tracer_key(node: ast.AST, maybe: Set[str]) -> Optional[str]:
+    """Key of ``node`` if it is a maybe-None tracer expression."""
+    if isinstance(node, ast.Name) and node.id in maybe:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in _TRACER_NAMES:
+        return _expr_key(node)
+    return None
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _pos_guard(test: ast.AST, maybe: Set[str]) -> Optional[str]:
+    """Key guarded by ``test`` when the test is true (``E is not None``)."""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return _pos_guard(test.values[0], maybe)
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.IsNot)
+        and _is_none(test.comparators[0])
+    ):
+        return _tracer_key(test.left, maybe)
+    return None
+
+
+def _neg_guard(test: ast.AST, maybe: Set[str]) -> Optional[str]:
+    """Key guarded by ``test`` being false (``E is None``)."""
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.Is)
+        and _is_none(test.comparators[0])
+    ):
+        return _tracer_key(test.left, maybe)
+    return None
+
+
+def _scope_stmts(body: List[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk a scope's nodes without descending into nested scopes."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _maybe_none_names(
+    body: List[ast.stmt], fn: Optional[ast.AST] = None
+) -> Set[str]:
+    """Names in this scope that may hold a ``None`` tracer."""
+    maybe: Set[str] = set()
+    known: Set[str] = set()
+    if fn is not None:
+        args = fn.args
+        pos = list(args.posonlyargs) + list(args.args)
+        defaults = list(args.defaults)
+        for a, d in zip(pos[len(pos) - len(defaults):], defaults):
+            if a.arg in _TRACER_NAMES:
+                (maybe if _is_none(d) else known).add(a.arg)
+        for a, d in zip(args.kwonlyargs, args.kw_defaults):
+            if a.arg in _TRACER_NAMES and d is not None:
+                (maybe if _is_none(d) else known).add(a.arg)
+        # a tracer parameter with no default is required, hence non-None
+        known.update(
+            a.arg
+            for a in pos[: len(pos) - len(defaults)]
+            if a.arg in _TRACER_NAMES
+        )
+    for node in _scope_stmts(body):
+        if not isinstance(node, ast.Assign):
+            continue
+        names = {t.id for t in node.targets if isinstance(t, ast.Name)}
+        if not names:
+            continue
+        if isinstance(node.value, ast.Attribute) and node.value.attr in _TRACER_NAMES:
+            maybe.update(names)
+        elif isinstance(node.value, ast.Call):
+            known.update(names)
+    return maybe - known
+
+
+class UnguardedTracerRule(Rule):
+    """Flag tracer hook calls outside an ``is None`` fast-path guard."""
+
+    rule_id = "REP109"
+    name = "unguarded-tracer"
+    description = (
+        "calls on a maybe-None tracer (obs hook sites) must sit inside an "
+        "`if tracer is not None` guard — the zero-overhead fast-path "
+        "discipline of the observability layer"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        scopes: List[Tuple[List[ast.stmt], Optional[ast.AST]]] = [
+            (ctx.tree.body, None)
+        ]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append((node.body, node))
+        for body, fn in scopes:
+            maybe = _maybe_none_names(body, fn)
+            hits: List[Tuple[ast.Call, str]] = []
+            self._scan_block(body, frozenset(), maybe, hits)
+            for call, key in hits:
+                yield self.finding(
+                    ctx, call,
+                    f"call on maybe-None tracer `{key}` is not guarded by "
+                    f"`if {key} is not None` — untraced runs would crash "
+                    "here, and the disabled fast-path must stay one "
+                    "None-check",
+                    tracer=key,
+                )
+
+    # -- recursive scan ----------------------------------------------------
+    def _scan_block(self, stmts, guarded, maybe, hits) -> None:
+        guarded = set(guarded)
+        for st in stmts:
+            if isinstance(st, ast.If):
+                self._scan_node(st.test, guarded, maybe, hits)
+                pos = _pos_guard(st.test, maybe)
+                neg = _neg_guard(st.test, maybe)
+                self._scan_block(
+                    st.body, guarded | ({pos} if pos else set()), maybe, hits
+                )
+                self._scan_block(
+                    st.orelse, guarded | ({neg} if neg else set()), maybe, hits
+                )
+                # early exit: `if tracer is None: return` guards the rest
+                if (
+                    neg
+                    and not st.orelse
+                    and st.body
+                    and isinstance(st.body[-1], _TERMINAL)
+                ):
+                    guarded.add(neg)
+            elif isinstance(st, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes are checked independently
+            else:
+                self._scan_node(st, guarded, maybe, hits)
+
+    def _scan_node(self, node, guarded, maybe, hits) -> None:
+        if node is None:
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            return
+        if isinstance(node, ast.IfExp):
+            self._scan_node(node.test, guarded, maybe, hits)
+            pos = _pos_guard(node.test, maybe)
+            neg = _neg_guard(node.test, maybe)
+            self._scan_node(
+                node.body, set(guarded) | ({pos} if pos else set()), maybe, hits
+            )
+            self._scan_node(
+                node.orelse, set(guarded) | ({neg} if neg else set()), maybe, hits
+            )
+            return
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+            g = set(guarded)
+            for v in node.values:
+                self._scan_node(v, g, maybe, hits)
+                pos = _pos_guard(v, maybe)
+                if pos:
+                    g.add(pos)
+            return
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            key = _tracer_key(node.func.value, maybe)
+            if key is not None and key not in guarded:
+                hits.append((node, key))
+        for field in node._fields:
+            value = getattr(node, field, None)
+            if isinstance(value, list):
+                if value and isinstance(value[0], ast.stmt):
+                    self._scan_block(value, guarded, maybe, hits)
+                else:
+                    for item in value:
+                        if isinstance(item, ast.AST):
+                            self._scan_node(item, guarded, maybe, hits)
+            elif isinstance(value, ast.AST):
+                self._scan_node(value, guarded, maybe, hits)

@@ -24,6 +24,11 @@ Commands
     loss with results equal to the fault-free reference
     (``docs/robustness.md``).  ``run`` also accepts ``--faults PLAN.json``
     and ``--checkpoint-every N`` to fault a single run.
+``trace``
+    Validate and summarize a Chrome trace produced by
+    ``run --trace`` (``docs/observability.md``); ``run`` also accepts
+    ``--events FILE.jsonl`` for the structured event log and
+    ``--profile`` for the per-operator W/H/C/S hot-spot table.
 """
 
 from __future__ import annotations
@@ -77,6 +82,15 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="snapshot run state every N supersteps so a "
                           "permanent GPU loss can roll back and resume "
                           "degraded")
+    run.add_argument("--trace", metavar="OUT.trace.json",
+                     help="record spans and write a Chrome trace_event "
+                          "JSON viewable in Perfetto")
+    run.add_argument("--events", metavar="OUT.jsonl",
+                     help="stream structured events (supersteps, comm "
+                          "stages, recovery actions) to a JSONL file")
+    run.add_argument("--profile", action="store_true",
+                     help="print the per-operator hot-spot table mapped "
+                          "onto the BSP W/H/C/S terms")
 
     part = sub.add_parser("partition", help="compare partitioners")
     part.add_argument("--dataset", default="soc-orkut")
@@ -110,8 +124,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             "graphs, bfs+pr only")
     bench.add_argument("--gate", action="store_true",
                        help="exit 1 if the threads backend is >1.2x "
-                            "slower than serial on the 4-GPU rmat BFS "
+                            "slower than serial, or an attached tracer "
+                            "is >1.5x serial, on the 4-GPU rmat BFS "
                             "case (CI regression gate)")
+    bench.add_argument("--baseline", metavar="BENCH.json",
+                       help="previous bench JSON to compare the serial "
+                            "(tracing-disabled) medians against; skipped "
+                            "when config or host differ")
+    bench.add_argument("--max-overhead", type=float, default=1.05,
+                       help="allowed serial-vs-baseline ratio for "
+                            "--baseline (default: 1.05)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -129,6 +151,15 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--smoke", action="store_true",
                        help="CI configuration: 2 GPUs, serial backend, "
                             "all primitives and fault kinds")
+
+    trace = sub.add_parser(
+        "trace",
+        help="validate and summarize a Chrome trace from `run --trace`",
+    )
+    trace.add_argument("trace_file", help="Chrome trace_event JSON file")
+    trace.add_argument("--events", metavar="FILE.jsonl",
+                       help="also validate a JSONL event log written by "
+                            "`run --events`")
 
     check = sub.add_parser(
         "check", help="lint sources against the framework contract"
@@ -171,12 +202,14 @@ def _prepare(args):
     return graph, scale
 
 
-def _run_once(args, graph, scale, num_gpus, out=None):
+def _run_once(args, graph, scale, num_gpus, out=None, tracer=None):
     from .primitives import RUNNERS
 
     spec = SPECS[getattr(args, "gpu_model", "k40")]
     machine = Machine(num_gpus, spec=spec, scale=scale)
     kwargs = {}
+    if tracer is not None:
+        kwargs["tracer"] = tracer
     if getattr(args, "partitioner", "random") != "random":
         kwargs["partitioner"] = make_partitioner(args.partitioner, args.seed)
     if getattr(args, "sanitize", False):
@@ -199,7 +232,23 @@ def _run_once(args, graph, scale, num_gpus, out=None):
 
 def _cmd_run(args, out) -> int:
     graph, scale = _prepare(args)
-    result, metrics = _run_once(args, graph, scale, args.gpus)
+    tracer = None
+    writer = None
+    if args.trace or args.events or args.profile:
+        from .obs import EventBus, JsonlWriter, Tracer
+
+        bus = None
+        if args.events:
+            writer = JsonlWriter(args.events)
+            bus = EventBus()
+            bus.subscribe(writer)
+        tracer = Tracer(bus=bus)
+    try:
+        result, metrics = _run_once(args, graph, scale, args.gpus,
+                                    tracer=tracer)
+    finally:
+        if writer is not None:
+            writer.close()
     print(metrics.summary(), file=out)
     terms = decompose(metrics).fractions()
     print(
@@ -225,6 +274,19 @@ def _cmd_run(args, out) -> int:
                if metrics.degraded_gpus else ""),
             file=out,
         )
+    if tracer is not None:
+        if args.trace:
+            from .obs import export_chrome_trace
+
+            export_chrome_trace(tracer, args.trace)
+            print(f"wrote {args.trace} ({len(tracer.spans)} spans; open "
+                  "at https://ui.perfetto.dev)", file=out)
+        if writer is not None:
+            print(f"wrote {args.events} ({writer.count} events)", file=out)
+        if args.profile:
+            from .obs import render_profile
+
+            print(render_profile(tracer), file=out)
     if metrics.sanitizer_hazards is not None:
         hazards = metrics.sanitizer_hazards
         if hazards:
@@ -284,7 +346,9 @@ def _cmd_sweep(args, out) -> int:
 
 def _cmd_bench(args, out) -> int:
     from .bench import (
+        check_baseline_overhead,
         check_threads_regression,
+        check_tracing_overhead,
         run_bench,
         write_bench,
     )
@@ -316,15 +380,18 @@ def _cmd_bench(args, out) -> int:
             f"{c['variants']['serial']['median_ms']:.2f}",
             f"{c['variants']['threads']['median_ms']:.2f}",
             f"{c['variants']['serial_noworkspace']['median_ms']:.2f}",
+            f"{c['variants']['serial_traced']['median_ms']:.2f}",
             f"{c['speedup_threads']:.2f}x",
             f"{c['speedup_workspace']:.2f}x",
+            f"{c['overhead_traced']:.2f}x",
         ]
         for c in result["cases"]
     ]
     print(
         render_table(
             ["dataset", "primitive", "GPUs", "serial ms", "threads ms",
-             "no-ws ms", "thr. speedup", "ws speedup"],
+             "no-ws ms", "traced ms", "thr. speedup", "ws speedup",
+             "trace cost"],
             rows,
             title=f"enact() wall-clock "
                   f"(host cores: {result['host']['cpu_count']})",
@@ -332,13 +399,31 @@ def _cmd_bench(args, out) -> int:
         file=out,
     )
     print(f"wrote {args.out}", file=out)
+    status = 0
+    if args.baseline:
+        import json as _json
+
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = _json.load(fh)
+        err = check_baseline_overhead(
+            result, baseline, max_overhead=args.max_overhead
+        )
+        if err is None:
+            print("baseline gate: OK", file=out)
+        elif err.startswith("skipped"):
+            print(f"baseline gate: {err}", file=out)
+        else:
+            print(f"baseline gate: {err}", file=sys.stderr)
+            status = 1
     if args.gate:
-        err = check_threads_regression(result)
-        if err:
-            print(f"bench gate: {err}", file=sys.stderr)
-            return 1
-        print("bench gate: OK", file=out)
-    return 0
+        for err in (check_threads_regression(result),
+                    check_tracing_overhead(result)):
+            if err:
+                print(f"bench gate: {err}", file=sys.stderr)
+                status = 1
+        if status == 0:
+            print("bench gate: OK", file=out)
+    return status
 
 
 def _cmd_chaos(args, out) -> int:
@@ -385,6 +470,55 @@ def _cmd_chaos(args, out) -> int:
     return 0
 
 
+def _cmd_trace(args, out) -> int:
+    from .obs import (
+        load_chrome_trace,
+        summarize_chrome_trace,
+        validate_chrome_trace,
+        validate_events_jsonl,
+    )
+
+    try:
+        trace = load_chrome_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"repro trace: error: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_chrome_trace(trace)
+    summary = summarize_chrome_trace(trace)
+    rows = [
+        [label, int(t["spans"]), f"{t['busy_ms']:.3f}"]
+        for label, t in sorted(summary["tracks"].items())
+    ]
+    title = (
+        f"{summary['primitive'] or args.trace_file}: "
+        f"{summary['spans']} spans, {summary['num_gpus']} GPUs, "
+        f"{summary['backend'] or '?'} backend, "
+        f"ends at {summary['end_ms']:.3f} ms"
+    )
+    print(render_table(["track", "spans", "busy ms"], rows, title=title),
+          file=out)
+    if summary["instants"]:
+        inst = ", ".join(
+            f"{name}×{n}" for name, n in sorted(summary["instants"].items())
+        )
+        print(f"instants: {inst}", file=out)
+    if args.events:
+        try:
+            problems += [
+                f"events: {p}" for p in validate_events_jsonl(args.events)
+            ]
+        except OSError as exc:
+            print(f"repro trace: error: {exc}", file=sys.stderr)
+            return 2
+    if problems:
+        for p in problems:
+            print(f"trace: {p}", file=sys.stderr)
+        print(f"trace: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("trace: valid", file=out)
+    return 0
+
+
 def _cmd_check(args, out) -> int:
     from .check import findings_to_json, lint_paths, render_findings
 
@@ -425,6 +559,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_bench(args, out)
         if args.command == "chaos":
             return _cmd_chaos(args, out)
+        if args.command == "trace":
+            return _cmd_trace(args, out)
         if args.command == "check":
             return _cmd_check(args, out)
     except ReproError as exc:

@@ -93,6 +93,9 @@ class ExecutionBackend:
     """Dispatch policy for one iteration's per-GPU superstep closures."""
 
     name = "base"
+    #: attached obs.Tracer, or None (the common, zero-overhead case);
+    #: set by the enactor, read behind a single ``is None`` check
+    tracer = None
 
     def map_supersteps(self, fns: List[Callable[[], GpuStepEffects]]
                        ) -> List[GpuStepEffects]:
@@ -143,6 +146,11 @@ class ThreadsBackend(ExecutionBackend):
             # nothing to overlap; skip the pool round-trip
             return [fn() for fn in fns]
         pool = self._ensure_pool(len(fns))
+        if self.tracer is not None:
+            self.tracer.instant(
+                "backend.dispatch", backend=self.name,
+                supersteps=len(fns), workers=pool._max_workers,
+            )
         futures = [pool.submit(fn) for fn in fns]
         return [f.result() for f in futures]
 

@@ -209,6 +209,7 @@ class Checkpoint:
 def capture_checkpoint(
     problem, iteration_obj, iteration: int,
     frontiers: List[np.ndarray], inboxes: List[List[tuple]],
+    tracer=None,
 ) -> Checkpoint:
     """Snapshot the run at the barrier that ended ``iteration``.
 
@@ -216,8 +217,10 @@ def capture_checkpoint(
     ``inboxes`` its per-GPU ``(arrival, Message)`` lists; both are lifted
     to global IDs.  Arrival timestamps are dropped: after a rollback the
     clock has moved on, so the enactor re-stamps deliveries at restore
-    time.
+    time.  ``tracer`` (optional) gets a ``checkpoint.capture`` event with
+    the wall-clock cost of building the snapshot.
     """
+    _wall0 = tracer.wall() if tracer is not None else 0.0
     subs = problem.subgraphs
     global_frontiers = [
         np.asarray(subs[g].local_to_global, dtype=np.int64)[
@@ -242,7 +245,7 @@ def capture_checkpoint(
                     ],
                 )
             )
-    return Checkpoint(
+    ckpt = Checkpoint(
         iteration=iteration,
         partition_table=np.array(
             problem.partition.partition_table, copy=True
@@ -253,6 +256,13 @@ def capture_checkpoint(
         frontiers=global_frontiers,
         messages=messages,
     )
+    if tracer is not None:
+        tracer.instant(
+            "checkpoint.capture", iteration=int(iteration),
+            nbytes=int(ckpt.nbytes), messages=len(messages),
+            wall_dur=tracer.wall() - _wall0,
+        )
+    return ckpt
 
 
 def _dedup_preserving_order(arr: np.ndarray) -> np.ndarray:
@@ -272,7 +282,7 @@ def _dedup_preserving_order(arr: np.ndarray) -> np.ndarray:
 
 
 def route_restored_state(
-    ckpt: Checkpoint, problem, lost,
+    ckpt: Checkpoint, problem, lost, tracer=None,
 ) -> Tuple[List[np.ndarray], List[Message]]:
     """Map a checkpoint onto the problem's *current* vertex assignment.
 
@@ -349,6 +359,13 @@ def route_restored_state(
                      for a in pm.value_associates],
                 )
             )
+    if tracer is not None:
+        tracer.instant(
+            "recovery.restore-routed",
+            iteration=int(ckpt.iteration),
+            frontier_items=int(sum(f.size for f in frontiers)),
+            messages=len(messages),
+        )
     return frontiers, messages
 
 

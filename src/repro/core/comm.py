@@ -65,7 +65,7 @@ class Message:
 
 
 def split_frontier(
-    sub: SubGraph, frontier: np.ndarray, ids_bytes: int = 4
+    sub: SubGraph, frontier: np.ndarray, ids_bytes: int = 4, tracer=None
 ) -> Tuple[np.ndarray, Dict[int, np.ndarray], OpStats]:
     """Split an output frontier into the local part and per-peer parts.
 
@@ -94,6 +94,12 @@ def split_frontier(
         streaming_bytes=2 * frontier.size * ids_bytes,
         random_bytes=frontier.size * 4,  # host table probe
     )
+    if tracer is not None:
+        tracer.instant(
+            "comm.split", gpu=sub.gpu_id,
+            items=int(frontier.size), local=int(local.size),
+            peers=len(remote),
+        )
     return local, remote, stats
 
 
@@ -103,6 +109,7 @@ def make_selective_messages(
     vertex_assoc_arrays: List[np.ndarray],
     value_assoc_arrays: List[np.ndarray],
     ids_bytes: int = 4,
+    tracer=None,
 ) -> Tuple[List[Message], OpStats]:
     """Package per-peer sub-frontiers with their associated data.
 
@@ -130,6 +137,12 @@ def make_selective_messages(
         streaming_bytes=packaged * ids_bytes * (1 + n_assoc),
         random_bytes=packaged * ids_bytes * (1 + n_assoc),
     )
+    if tracer is not None:
+        tracer.instant(
+            "comm.package", gpu=sub.gpu_id,
+            items=int(packaged), messages=len(messages),
+            associates=n_assoc,
+        )
     return messages, stats
 
 
@@ -141,6 +154,7 @@ def make_broadcast_messages(
     value_assoc_arrays: List[np.ndarray],
     ids_bytes: int = 4,
     skip=None,
+    tracer=None,
 ) -> Tuple[List[Message], OpStats]:
     """Broadcast the whole frontier to every peer.
 
@@ -170,4 +184,10 @@ def make_broadcast_messages(
         streaming_bytes=frontier.size * ids_bytes * (1 + n_assoc),
         random_bytes=frontier.size * ids_bytes * (1 + n_assoc),
     )
+    if tracer is not None:
+        tracer.instant(
+            "comm.package", gpu=sub.gpu_id,
+            items=int(frontier.size), messages=len(messages),
+            associates=n_assoc, broadcast=True,
+        )
     return messages, stats

@@ -25,6 +25,7 @@ reports peak memory in the run metrics.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional, Sequence, Type, Union
 
 import numpy as np
@@ -36,6 +37,7 @@ from ..errors import (
     DeviceMemoryError,
     SimulationError,
 )
+from ..obs.tracer import COMM_TRACK, Tracer
 from ..partition.base import reassign_onto_survivors
 from ..sim.machine import Machine
 from ..sim.memory import AllocationScheme, PreallocFusion
@@ -117,6 +119,13 @@ class Enactor:
     recovery:
         :class:`~repro.core.checkpoint.RecoveryPolicy` knobs for retry /
         backoff / rollback limits (default: the documented defaults).
+    tracer:
+        Opt-in :class:`~repro.obs.tracer.Tracer` (docs/observability.md):
+        records per-GPU spans on the virtual and wall clocks plus a
+        structured event stream.  A pure observer — traced runs are
+        bit-identical (results and metrics) to untraced runs on both
+        backends.  ``None`` (the default) costs one pointer check per
+        hook site, the ``sim/faults.py`` discipline (lint rule REP109).
     """
 
     def __init__(
@@ -133,9 +142,13 @@ class Enactor:
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.problem = problem
         self.machine: Machine = problem.machine
+        self.tracer = tracer
+        if tracer is not None:
+            self.machine.attach_tracer(tracer)
         self.iteration_cls = iteration_cls
         self.scheme = scheme or PreallocFusion()
         self.comm_volume_scale = comm_volume_scale
@@ -158,6 +171,8 @@ class Enactor:
 
         n = self.machine.num_gpus
         self.backend = make_backend(backend, num_gpus=n)
+        if tracer is not None:
+            self.backend.tracer = tracer
         self.workspaces: List[Optional[Workspace]] = [
             Workspace(i) if use_workspace else None for i in range(n)
         ]
@@ -219,6 +234,7 @@ class Enactor:
         """
         gpu = self.machine.gpus[gpu_index]
         km = self.machine.kernel_model
+        tracer = self.tracer
         total = 0.0
         for s in stats:
             cost = km.kernel_time(
@@ -228,8 +244,12 @@ class Enactor:
                 atomic_ops=s.atomic_ops,
             )
             dur = cost.total * scale
-            gpu.compute.launch(dur, earliest_start=earliest_start, label=s.name)
+            ev = gpu.compute.launch(
+                dur, earliest_start=earliest_start, label=s.name
+            )
             total += dur
+            if tracer is not None:
+                tracer.op_span(gpu_index, s, ev.timestamp - dur, dur)
         return total
 
     def _charge_frontier_growth(self, gpu_index: int, grown_items: int, item_bytes: int) -> float:
@@ -238,7 +258,12 @@ class Enactor:
             return 0.0
         km = self.machine.kernel_model
         t = km.memcpy_time(grown_items * item_bytes) + 50e-6  # cudaMalloc sync
-        self.machine.gpus[gpu_index].compute.launch(t, label="realloc")
+        ev = self.machine.gpus[gpu_index].compute.launch(t, label="realloc")
+        if self.tracer is not None:
+            self.tracer.span(
+                "op", "realloc", ev.timestamp - t, t,
+                track=gpu_index, items=int(grown_items),
+            )
         return t
 
     def _ensure_intermediate(
@@ -274,6 +299,12 @@ class Enactor:
                 # transient allocation failure: retry at exact fit
                 pool.realloc(name, max(needed * vb, 1), preserve=False)
                 eff.oom_recoveries += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "recovery.oom-regrow",
+                        vt=self.machine.gpus[gpu_index].compute.available_at,
+                        gpu=gpu_index, buffer=name,
+                    )
             self._charge_frontier_growth(gpu_index, needed, vb)
 
     def _set_frontier(
@@ -304,6 +335,12 @@ class Enactor:
             frontier_obj.grow_events += 1
             frontier_obj.set(data)
             eff.oom_recoveries += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "recovery.oom-regrow",
+                    vt=self.machine.gpus[gpu_index].compute.available_at,
+                    gpu=gpu_index, buffer=frontier_obj.name,
+                )
             return grown
 
     # ------------------------------------------------------------------
@@ -331,6 +368,7 @@ class Enactor:
         gpu = machine.gpus[i]
         sub = problem.subgraphs[i]
         sanitizer = self.sanitizer
+        tracer = self.tracer
         eff = GpuStepEffects(gpu=i)
         ctx = GpuContext(
             gpu=gpu,
@@ -341,9 +379,18 @@ class Enactor:
             iteration=iteration,
             num_gpus=n,
             workspace=self.workspaces[i],
+            tracer=tracer,
         )
         if sanitizer is not None:
             sanitizer.begin_gpu(i, iteration)
+        if tracer is not None:
+            tracer.begin_gpu(i, iteration)
+            _vt0 = gpu.compute.available_at
+            _wall0 = tracer.wall()
+            tracer.instant(
+                "superstep.begin", vt=_vt0, gpu=i, iteration=iteration,
+                frontier=int(frontier_in.size),
+            )
         inj = machine.faults
         straggle = 1.0
         if inj is not None:
@@ -354,8 +401,13 @@ class Enactor:
         # per-iteration framework overhead (bookkeeping kernels,
         # driver API calls) — the 1-GPU part of Section V-B's l
         overhead = gpu.spec.iteration_overhead * straggle
-        gpu.compute.launch(overhead, label="framework")
+        fev = gpu.compute.launch(overhead, label="framework")
         compute_seconds += overhead
+        if tracer is not None:
+            tracer.span(
+                "op", "framework", fev.timestamp - overhead, overhead,
+                track=i,
+            )
 
         # --- 1. combine incoming messages ----------------------
         extra_parts: List[np.ndarray] = []
@@ -366,6 +418,12 @@ class Enactor:
                 i, stats, earliest_start=arrival, scale=straggle
             )
             combined_items += msg.num_items
+            if tracer is not None:
+                tracer.instant(
+                    "comm.combine", vt=arrival, gpu=i, src=msg.src_gpu,
+                    items=int(msg.num_items),
+                    accepted=int(np.asarray(verts).size),
+                )
             if verts.size:
                 extra_parts.append(np.asarray(verts, dtype=np.int64))
         if inbox:
@@ -410,16 +468,17 @@ class Enactor:
             if problem.communication == BROADCAST:
                 msgs, pstats = make_broadcast_messages(
                     sub, out, n, va, la, ids_bytes=ctx.ids_bytes,
-                    skip=machine.lost_gpus,
+                    skip=machine.lost_gpus, tracer=tracer,
                 )
                 local_part = out
                 compute_seconds += self._charge(i, [pstats], scale=straggle)
             else:
                 local_part, remote, sstats = split_frontier(
-                    sub, out, ids_bytes=ctx.ids_bytes
+                    sub, out, ids_bytes=ctx.ids_bytes, tracer=tracer
                 )
                 msgs, pstats = make_selective_messages(
-                    sub, remote, va, la, ids_bytes=ctx.ids_bytes
+                    sub, remote, va, la, ids_bytes=ctx.ids_bytes,
+                    tracer=tracer,
                 )
                 compute_seconds += self._charge(
                     i, [sstats, pstats], scale=straggle
@@ -476,12 +535,24 @@ class Enactor:
                             comm_seconds += backoff
                             eff.comm_retries += 1
                             eff.retry_seconds += backoff
+                            if tracer is not None:
+                                tracer.instant(
+                                    "recovery.retry", vt=bev.timestamp,
+                                    gpu=i, dst=msg.dst_gpu,
+                                    attempt=attempt, backoff=backoff,
+                                )
                 ev = gpu.comm.launch(
                     dur,
                     earliest_start=start_at,
                     label=f"send->{msg.dst_gpu}",
                 )
                 comm_seconds += dur
+                if tracer is not None:
+                    tracer.span(
+                        "comm", "send", ev.timestamp - dur, dur,
+                        track=COMM_TRACK, src=i, dst=msg.dst_gpu,
+                        items=int(msg.num_items), nbytes=nbytes,
+                    )
                 eff.sends.append((msg.dst_gpu, ev.timestamp, msg))
                 eff.transfer_nbytes.append(nbytes)
                 eff.items_sent += msg.num_items
@@ -492,6 +563,19 @@ class Enactor:
 
         eff.compute_seconds = compute_seconds
         eff.comm_seconds = comm_seconds
+        if tracer is not None:
+            _vt1 = gpu.compute.available_at
+            tracer.span(
+                "superstep", f"superstep {iteration}", _vt0, _vt1 - _vt0,
+                track=i, wall_start=_wall0, wall_dur=tracer.wall() - _wall0,
+                frontier=eff.frontier_size, edges=int(eff.edges_visited),
+                thread=threading.current_thread().name,
+            )
+            tracer.instant(
+                "superstep.end", vt=_vt1, gpu=i, iteration=iteration,
+                out=int(np.asarray(eff.frontier).size),
+            )
+            tracer.end_gpu()
         if sanitizer is not None:
             sanitizer.end_gpu()
         return eff
@@ -513,7 +597,8 @@ class Enactor:
         """
         machine = self.machine
         ckpt = capture_checkpoint(
-            self.problem, iteration_obj, iteration, frontiers, inboxes
+            self.problem, iteration_obj, iteration, frontiers, inboxes,
+            tracer=self.tracer,
         )
         self._last_checkpoint = ckpt
         if self.checkpoint_path is not None:
@@ -528,6 +613,11 @@ class Enactor:
         metrics.checkpoints_taken += 1
         metrics.checkpoint_bytes += ckpt.nbytes
         metrics.checkpoint_seconds += dur
+        if self.tracer is not None:
+            self.tracer.instant(
+                "checkpoint", vt=machine.clock.now, iteration=iteration,
+                nbytes=int(ckpt.nbytes), seconds=dur,
+            )
 
     def _recover_gpu_loss(
         self,
@@ -561,6 +651,17 @@ class Enactor:
                 iteration=losses[0].iteration,
                 site="enactor.recover",
             ) from losses[0]
+        tracer = self.tracer
+        if tracer is not None:
+            # the aborted superstep's staged spans/events die with its
+            # dropped GpuStepEffects, keeping event counts consistent
+            # with the RunMetrics recovery counters
+            tracer.drop_staged()
+            for exc in losses:
+                tracer.instant(
+                    "recovery.gpu-loss", vt=machine.clock.now,
+                    gpu=exc.gpu_id, iteration=exc.iteration,
+                )
         for exc in losses:
             machine.lose_gpu(exc.gpu_id)
         metrics.degraded_gpus = sorted(machine.lost_gpus)
@@ -576,7 +677,7 @@ class Enactor:
         iteration_obj.restore_state(ckpt.iter_state)
         problem.on_repartition(dead=machine.lost_gpus)
         frontiers, messages = route_restored_state(
-            ckpt, problem, machine.lost_gpus
+            ckpt, problem, machine.lost_gpus, tracer=tracer
         )
         # survivors re-read the snapshot over the host link; the barrier
         # then resumes everyone at a common post-restore time (the clock
@@ -593,6 +694,13 @@ class Enactor:
         for msg in messages:
             inboxes[msg.dst_gpu].append((now, msg))
         metrics.restore_seconds += now - t0
+        if tracer is not None:
+            tracer.instant(
+                "recovery.rollback", vt=now,
+                to_iteration=int(ckpt.iteration),
+                lost=sorted(machine.lost_gpus),
+                restore_seconds=now - t0,
+            )
         frontiers = [np.asarray(f, dtype=np.int64) for f in frontiers]
         return ckpt.iteration + 1, frontiers, inboxes
 
@@ -615,6 +723,9 @@ class Enactor:
             )
         init_frontiers = problem.reset(**reset_kwargs)
         machine.reset()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin_run(problem.name, n, self.backend.name)
         if sanitizer is not None:
             sanitizer.start_run()
         for g in machine.gpus:
@@ -638,6 +749,7 @@ class Enactor:
             )
 
         iteration = 0
+        last_dirs: dict = {}
         while True:
             if iteration > iteration_obj.max_iterations():
                 raise ConvergenceError(
@@ -690,6 +802,7 @@ class Enactor:
             # exact mutation order of the old serial loop, so records,
             # inbox ordering, and traffic counters are bit-identical no
             # matter where the supersteps actually ran
+            switches: List[tuple] = []
             for eff in results:
                 i = eff.gpu
                 if eff.comm_compute_items is not None:
@@ -698,6 +811,11 @@ class Enactor:
                 rec.edges_visited[i] = eff.edges_visited
                 rec.vertices_processed[i] = eff.vertices_processed
                 rec.direction = eff.direction or rec.direction
+                if tracer is not None and eff.direction:
+                    prev = last_dirs.get(i)
+                    last_dirs[i] = eff.direction
+                    if prev is not None and prev != eff.direction:
+                        switches.append((i, prev, eff.direction))
                 if eff.sends:
                     rec.items_sent[i] = eff.items_sent
                     rec.bytes_sent[i] = eff.bytes_sent
@@ -713,9 +831,30 @@ class Enactor:
                 metrics.oom_recoveries += eff.oom_recoveries
 
             inboxes = next_inboxes
+            if tracer is not None:
+                # merge staged spans/events in GPU-index order *before*
+                # the barrier instant so the stream reads chronologically
+                tracer.on_barrier(iteration)
             machine.barrier(compute_only=self.overlap_communication)
+            if tracer is not None:
+                for g, before, after in switches:
+                    tracer.instant(
+                        "direction.switch", vt=machine.clock.now,
+                        gpu=g, iteration=iteration,
+                        before=before, after=after,
+                    )
             if sanitizer is not None:
+                hazard_mark = (
+                    len(sanitizer.hazards) if tracer is not None else 0
+                )
                 sanitizer.on_barrier(iteration)
+                if tracer is not None:
+                    for hz in sanitizer.hazards[hazard_mark:]:
+                        tracer.instant(
+                            "sanitizer.hazard", vt=machine.clock.now,
+                            hazard=hz.hazard_id, array=hz.array,
+                            superstep=hz.superstep,
+                        )
             rec.duration = machine.clock.now - iter_start
             metrics.iterations.append(rec)
             iteration_obj.on_iteration_end(iteration)
@@ -743,6 +882,12 @@ class Enactor:
             metrics.num_reallocs += machine.gpus[i].memory.num_reallocs
         if sanitizer is not None:
             metrics.sanitizer_hazards = sanitizer.report()
+        if tracer is not None:
+            tracer.end_run(
+                vt=metrics.elapsed,
+                elapsed=metrics.elapsed,
+                supersteps=len(metrics.iterations),
+            )
         return metrics
 
     def _release_buffers(self) -> None:

@@ -39,6 +39,9 @@ class GpuContext:
     #: per-GPU scratch arena for operator hot paths (never shared across
     #: GPUs; None when the enactor runs without one, e.g. in unit tests)
     workspace: Optional[Workspace] = None
+    #: attached obs.Tracer, or None (the common, zero-overhead case);
+    #: primitives forward it to operator calls for wall-clock sampling
+    tracer: Optional[object] = None
 
     @property
     def ids_bytes(self) -> int:

@@ -91,6 +91,7 @@ def advance_push(
     frontier: np.ndarray,
     ids_bytes: int = 4,
     ws: Optional[Workspace] = None,
+    tracer=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, OpStats]:
     """Per-edge parallel advance (the standard forward traversal).
 
@@ -101,7 +102,11 @@ def advance_push(
     kernel moves one column index (``VertexT``) plus load-balancing /
     edge-offset data at ``SizeT`` width — the term that makes 64-bit edge
     IDs slower (Table V: "reads 2x data per edge").
+
+    ``tracer`` (optional) samples the call's wall-clock cost into the
+    per-operator profile; it never changes results.
     """
+    _wall0 = tracer.wall() if tracer is not None else 0.0
     neighbors, sources, edge_idx = gather_neighbors(csr, frontier, ws=ws)
     edges = int(neighbors.size)
     nf = int(np.asarray(frontier).size)
@@ -117,6 +122,8 @@ def advance_push(
         random_bytes=2 * nf * size_bytes
         + edges * (ids_bytes + 0.75 * size_bytes),
     )
+    if tracer is not None:
+        tracer.op_wall_sample("advance", tracer.wall() - _wall0)
     return neighbors, sources, edge_idx, stats
 
 
@@ -126,6 +133,7 @@ def advance_pull(
     in_frontier: np.ndarray,
     ids_bytes: int = 4,
     ws: Optional[Workspace] = None,
+    tracer=None,
 ) -> Tuple[np.ndarray, np.ndarray, OpStats]:
     """Per-vertex pull advance with edge skipping (Section VI-A).
 
@@ -151,6 +159,7 @@ def advance_pull(
         actually *scanned* — a candidate stops at its first hit, which is
         the entire point of direction-optimization.
     """
+    _wall0 = tracer.wall() if tracer is not None else 0.0
     candidates = _frontier64(candidates)
     offsets = csr.offsets64
     starts = offsets[candidates]
@@ -170,6 +179,8 @@ def advance_pull(
             streaming_bytes=candidates.size * ids_bytes,
             random_bytes=2 * candidates.size * ids_bytes,
         )
+        if tracer is not None:
+            tracer.op_wall_sample("advance-pull", tracer.wall() - _wall0)
         return empty, empty.copy(), stats
 
     seg_starts = np.concatenate([[0], np.cumsum(counts_nz)[:-1]])
@@ -216,4 +227,6 @@ def advance_pull(
         random_bytes=2 * candidates.size * csr.ids.size_bytes
         + edges_scanned * (ids_bytes + 0.75 * csr.ids.size_bytes + 1),
     )
+    if tracer is not None:
+        tracer.op_wall_sample("advance-pull", tracer.wall() - _wall0)
     return discovered, parents, stats

@@ -23,12 +23,14 @@ def compute_op(
     bytes_per_element: int = 12,
     name: str = "compute",
     atomic: bool = False,
+    tracer=None,
 ) -> Tuple[np.ndarray, OpStats]:
     """Run ``fn`` over the frontier (in-place side effects expected).
 
     Returns the (unchanged) frontier and the op stats.  ``atomic=True``
     charges one atomic per element (e.g. PR's rank accumulation).
     """
+    _wall0 = tracer.wall() if tracer is not None else 0.0
     frontier = np.asarray(frontier, dtype=np.int64)
     fn(frontier)
     stats = OpStats(
@@ -40,6 +42,8 @@ def compute_op(
         random_bytes=frontier.size * bytes_per_element,
         atomic_ops=float(frontier.size) if atomic else 0.0,
     )
+    if tracer is not None:
+        tracer.op_wall_sample(name, tracer.wall() - _wall0)
     return frontier, stats
 
 

@@ -23,12 +23,14 @@ def filter_predicate(
     predicate: Callable[[np.ndarray], np.ndarray],
     ids_bytes: int = 4,
     name: str = "filter",
+    tracer=None,
 ) -> Tuple[np.ndarray, OpStats]:
     """Generic filter: keep elements where ``predicate`` is True.
 
     ``predicate`` receives the whole array and must return a boolean mask
     (vectorized, like every framework compute op).
     """
+    _wall0 = tracer.wall() if tracer is not None else 0.0
     frontier = np.asarray(frontier, dtype=np.int64)
     mask = np.asarray(predicate(frontier), dtype=bool)
     if mask.shape != frontier.shape:
@@ -43,6 +45,8 @@ def filter_predicate(
         streaming_bytes=(frontier.size + out.size) * ids_bytes,
         random_bytes=frontier.size * ids_bytes,
     )
+    if tracer is not None:
+        tracer.op_wall_sample(name, tracer.wall() - _wall0)
     return out, stats
 
 
@@ -51,6 +55,7 @@ def filter_unvisited(
     labels: np.ndarray,
     invalid_label,
     ids_bytes: int = 4,
+    tracer=None,
 ) -> Tuple[np.ndarray, OpStats]:
     """Traversal filter: deduplicate and keep vertices with no label yet.
 
@@ -58,6 +63,7 @@ def filter_unvisited(
     survivors enter the new frontier exactly once.  Deterministic here:
     ``np.unique`` plays the role the atomic CAS race plays on hardware.
     """
+    _wall0 = tracer.wall() if tracer is not None else 0.0
     candidates = np.asarray(candidates, dtype=np.int64)
     if candidates.size:
         unvisited = candidates[labels[candidates] == invalid_label]
@@ -74,6 +80,8 @@ def filter_unvisited(
         random_bytes=candidates.size * ids_bytes,
         atomic_ops=float(out.size),
     )
+    if tracer is not None:
+        tracer.op_wall_sample("filter", tracer.wall() - _wall0)
     return out, stats
 
 

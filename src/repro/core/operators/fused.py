@@ -57,6 +57,7 @@ def fused_advance_filter(
     invalid_label,
     ids_bytes: int = 4,
     ws: Optional[Workspace] = None,
+    tracer=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, OpStats]:
     """Advance then unvisited-filter as one fused kernel.
 
@@ -66,6 +67,9 @@ def fused_advance_filter(
     serialized-atomics tie-break of a GPU run re-executed for
     reproducibility).
     """
+    # the inner calls are NOT traced individually: one fused kernel means
+    # one wall-clock sample under the fused name
+    _wall0 = tracer.wall() if tracer is not None else 0.0
     neighbors, sources, edge_idx, a_stats = advance_push(
         csr, frontier, ids_bytes=ids_bytes, ws=ws
     )
@@ -81,4 +85,6 @@ def fused_advance_filter(
     stats.streaming_bytes = max(
         0.0, stats.streaming_bytes - 2 * neighbors.size * ids_bytes
     )
+    if tracer is not None:
+        tracer.op_wall_sample("advance+filter(fused)", tracer.wall() - _wall0)
     return survivors, w_sources, w_edges, stats

@@ -1,0 +1,113 @@
+"""Per-operator hot-spot profile mapped onto the paper's BSP terms.
+
+The paper's per-iteration cost is ``W + H·g + S·l`` (Section V):
+``W`` local compute, ``H`` communicated items (times per-item cost
+``g``), ``C`` the compute cost *of* communication (split/package/
+combine), and ``S`` synchronizations (times latency ``l``).  The
+profiler buckets every traced span into one of those terms so a hot-spot
+table directly answers "is this primitive compute- or
+communication-bound?" — the question the paper's Table I answers
+analytically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.reporting import render_table
+from .tracer import Tracer
+
+__all__ = ["term_of_span", "profile_rows", "render_profile"]
+
+#: operators that are the *compute* side of communication (the paper's C)
+_C_NAMES = frozenset(
+    {"split", "package", "broadcast-package", "expand_incoming", "unique"}
+)
+#: framework/synchronization overhead (charged against the paper's S·l)
+_S_NAMES = frozenset({"framework", "checkpoint", "restore"})
+
+
+def term_of_span(span) -> str:
+    """Map a span to W (compute), H (comm), C (comm-compute), or S."""
+    if span.cat == "comm":
+        return "H"
+    if span.name in _C_NAMES:
+        return "C"
+    if span.name in _S_NAMES:
+        return "S"
+    return "W"
+
+
+def profile_rows(tracer: Tracer) -> List[dict]:
+    """Aggregate spans by operator name, sorted by virtual time desc.
+
+    Each row: ``op``, ``term``, ``calls``, ``virtual_s``, ``pct`` (of
+    total virtual busy time), ``wall_s`` (wall-clock aggregate where the
+    operator sampled it; 0.0 otherwise).  Barrier sync latency — pure
+    ``S·l`` that no span covers — is added as a synthetic
+    ``barrier(sync)`` row from the barrier instants.
+    """
+    agg: Dict[str, List] = {}
+    for s in tracer.spans:
+        if s.cat == "superstep":
+            continue  # container span; its children are already counted
+        row = agg.setdefault(s.name, [term_of_span(s), 0, 0.0])
+        row[1] += 1
+        row[2] += s.vt_dur
+    sync_total = 0.0
+    sync_count = 0
+    for e in tracer.events_of("barrier"):
+        sync_total += float(e.get("sync", 0.0))
+        sync_count += 1
+    if sync_count:
+        agg["barrier(sync)"] = ["S", sync_count, sync_total]
+    total = sum(row[2] for row in agg.values()) or 1.0
+    rows = []
+    for name, (term, calls, vt) in agg.items():
+        wall = tracer.op_wall.get(name, (0, 0.0))[1]
+        rows.append(
+            {
+                "op": name,
+                "term": term,
+                "calls": calls,
+                "virtual_s": vt,
+                "pct": 100.0 * vt / total,
+                "wall_s": wall,
+            }
+        )
+    rows.sort(key=lambda r: (-r["virtual_s"], r["op"]))
+    return rows
+
+
+def render_profile(tracer: Tracer) -> str:
+    """ASCII hot-spot table for ``repro run --profile``."""
+    rows = profile_rows(tracer)
+    title = "per-operator profile"
+    if tracer.primitive:
+        title = (
+            f"{tracer.primitive} per-operator profile "
+            f"({tracer.num_gpus} GPUs, {tracer.backend or 'serial'} backend)"
+        )
+    table = render_table(
+        ["operator", "term", "calls", "virtual ms", "%", "wall ms"],
+        [
+            [
+                r["op"],
+                r["term"],
+                r["calls"],
+                r["virtual_s"] * 1e3,
+                r["pct"],
+                r["wall_s"] * 1e3,
+            ]
+            for r in rows
+        ],
+        title=title,
+    )
+    terms: Dict[str, float] = {}
+    for r in rows:
+        terms[r["term"]] = terms.get(r["term"], 0.0) + r["virtual_s"]
+    legend = "  ".join(
+        f"{t}={terms.get(t, 0.0) * 1e3:.3f}ms"
+        for t in ("W", "H", "C", "S")
+    )
+    return table + f"\nBSP terms (W + H·g + C + S·l): {legend}"

@@ -176,14 +176,17 @@ class DOBFSIteration(IterationBase):
                 survivors, w_src, _w, stats = fused_advance_filter(
                     csr, hosted, labels, INVALID_LABEL,
                     ids_bytes=ctx.ids_bytes, ws=ctx.workspace,
+                    tracer=ctx.tracer,
                 )
                 stats_list.append(stats)
             else:
                 nbrs, srcs, eidx, a_stats = advance_push(
-                    csr, hosted, ids_bytes=ctx.ids_bytes, ws=ctx.workspace
+                    csr, hosted, ids_bytes=ctx.ids_bytes, ws=ctx.workspace,
+                    tracer=ctx.tracer,
                 )
                 survivors, f_stats = filter_unvisited(
-                    nbrs, labels, INVALID_LABEL, ids_bytes=ctx.ids_bytes
+                    nbrs, labels, INVALID_LABEL, ids_bytes=ctx.ids_bytes,
+                    tracer=ctx.tracer,
                 )
                 w_src, _w = first_witness(nbrs, srcs, eidx, survivors)
                 stats_list.extend([a_stats, f_stats])
@@ -218,7 +221,7 @@ class DOBFSIteration(IterationBase):
             )
             survivors, parents, stats = advance_pull(
                 csr, candidates, bitmap, ids_bytes=ctx.ids_bytes,
-                ws=ctx.workspace,
+                ws=ctx.workspace, tracer=ctx.tracer,
             )
             w_src = parents
             stats_list.append(stats)

@@ -89,6 +89,8 @@ class Interconnect:
         self.total_messages = 0
         #: armed FaultInjector, or None (the common, zero-overhead case)
         self.faults = None
+        #: attached obs.Tracer, or None (shared by Machine.attach_tracer)
+        self.tracer = None
         #: GPUs lost permanently; transfers touching them are refused
         #: (shared with Machine.lost_gpus once a loss occurs)
         self.lost_gpus: Set[int] = set()
@@ -148,6 +150,12 @@ class Interconnect:
         if self.faults is not None:
             self.faults.check_comm(src, dst, iteration)
         lk = self.link(src, dst)
+        if self.tracer is not None:
+            # observation only: staged per-GPU when a worker calls this
+            self.tracer.instant(
+                "comm.transfer", src=src, dst=dst,
+                nbytes=int(nbytes), link=lk.name,
+            )
         return lk.latency * latency_scale + nbytes * self.scale / lk.bandwidth
 
     def record_transfer(self, nbytes: int) -> None:

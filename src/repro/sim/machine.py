@@ -70,6 +70,8 @@ class Machine:
         self.kernel_model = KernelModel(spec, self.scale)
         #: armed FaultInjector, or None (the common, zero-overhead case)
         self.faults = None
+        #: attached obs.Tracer, or None (same zero-overhead discipline)
+        self.tracer = None
         #: permanently lost GPU ids (degraded mode); shared with the
         #: interconnect so transfers to a dead device are refused
         self.lost_gpus: Set[int] = set()
@@ -123,6 +125,22 @@ class Machine:
         for g in self.gpus:
             g.memory.faults = None
 
+    def attach_tracer(self, tracer) -> "object":
+        """Attach an :class:`~repro.obs.tracer.Tracer` to the machine.
+
+        Shared with the interconnect — same sharing shape as
+        :meth:`arm_faults`, and like it, every hook site stays a single
+        ``is None`` check when nothing is attached (lint rule REP109).
+        """
+        self.tracer = tracer
+        self.interconnect.tracer = tracer
+        return tracer
+
+    def detach_tracer(self) -> None:
+        """Remove any attached tracer (hooks become no-ops again)."""
+        self.tracer = None
+        self.interconnect.tracer = None
+
     def reset(self) -> None:
         """Reset all timelines and traffic counters (memory stays).
 
@@ -167,13 +185,21 @@ class Machine:
             t = max((g.compute.available_at for g in gpus), default=0.0)
         else:
             t = max((g.busy_until() for g in gpus), default=0.0)
-        if extra_latency:
-            t += self.interconnect.sync_latency(len(gpus))
+        sync = self.interconnect.sync_latency(len(gpus)) if extra_latency else 0.0
+        t += sync
         for g in gpus:
             streams = [g.compute] if compute_only else list(g.streams.values())
             for s in streams:
                 s.available_at = max(s.available_at, t)
         self.clock.advance_to(t)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "barrier",
+                vt=t,
+                gpus=len(gpus),
+                sync=sync,
+                compute_only=bool(compute_only),
+            )
         return t
 
     def describe(self) -> str:

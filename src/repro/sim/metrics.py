@@ -165,6 +165,7 @@ class RunMetrics:
     def to_dict(self) -> dict:
         """JSON-serializable trace of the whole run (per-iteration)."""
         return {
+            "schema_version": 2,
             "primitive": self.primitive,
             "dataset": self.dataset,
             "num_gpus": self.num_gpus,
@@ -200,6 +201,15 @@ class RunMetrics:
                     "items_sent": {
                         str(k): v for k, v in r.items_sent.items()
                     },
+                    "bytes_sent": {
+                        str(k): v for k, v in r.bytes_sent.items()
+                    },
+                    "comm_compute_items": {
+                        str(k): v for k, v in r.comm_compute_items.items()
+                    },
+                    "vertices_processed": {
+                        str(k): v for k, v in r.vertices_processed.items()
+                    },
                     "compute_time": {
                         str(k): v for k, v in r.compute_time.items()
                     },
@@ -215,5 +225,5 @@ class RunMetrics:
         """Write the run trace to a JSON file."""
         import json
 
-        with open(path, "w") as fh:
+        with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.to_dict(), fh, indent=1)

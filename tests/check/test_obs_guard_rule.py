@@ -1,0 +1,125 @@
+"""REP109 unguarded-tracer: obs hook calls must keep the None fast-path."""
+
+from repro.check import lint_source
+
+
+def ids_of(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestUnguardedTracerRule:
+    def test_unguarded_attribute_call_flagged(self):
+        src = '''
+class Machine:
+    def barrier(self, t):
+        self.tracer.instant("barrier", vt=t)
+        return t
+'''
+        findings = lint_source(src, "t.py")
+        assert "REP109" in ids_of(findings)
+        assert any("self.tracer" in f.message for f in findings)
+
+    def test_guarded_attribute_call_ok(self):
+        src = '''
+class Machine:
+    def barrier(self, t):
+        if self.tracer is not None:
+            self.tracer.instant("barrier", vt=t)
+        return t
+'''
+        assert "REP109" not in ids_of(lint_source(src, "t.py"))
+
+    def test_unguarded_local_alias_flagged(self):
+        src = '''
+class Enactor:
+    def _charge(self, gpu):
+        tracer = self.tracer
+        tracer.op_span(gpu, 0.0, 1.0)
+'''
+        assert "REP109" in ids_of(lint_source(src, "t.py"))
+
+    def test_guarded_local_alias_ok(self):
+        src = '''
+class Enactor:
+    def _charge(self, gpu):
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.op_span(gpu, 0.0, 1.0)
+'''
+        assert "REP109" not in ids_of(lint_source(src, "t.py"))
+
+    def test_default_none_parameter_flagged(self):
+        src = '''
+def advance(frontier, tracer=None):
+    tracer.op_wall_sample("advance", 0.0)
+    return frontier
+'''
+        assert "REP109" in ids_of(lint_source(src, "t.py"))
+
+    def test_required_parameter_ok(self):
+        src = '''
+def export_chrome_trace(tracer, path):
+    return tracer.spans_of("op")
+'''
+        assert "REP109" not in ids_of(lint_source(src, "t.py"))
+
+    def test_constructed_tracer_ok(self):
+        src = '''
+def main():
+    tracer = Tracer()
+    tracer.begin_run("bfs", 4)
+'''
+        assert "REP109" not in ids_of(lint_source(src, "t.py"))
+
+    def test_guarded_ifexp_ok(self):
+        src = '''
+def advance(frontier, tracer=None):
+    wall0 = tracer.wall() if tracer is not None else 0.0
+    return frontier, wall0
+'''
+        assert "REP109" not in ids_of(lint_source(src, "t.py"))
+
+    def test_unguarded_ifexp_flagged(self):
+        src = '''
+def advance(frontier, enabled, tracer=None):
+    wall0 = tracer.wall() if enabled else 0.0
+    return frontier, wall0
+'''
+        assert "REP109" in ids_of(lint_source(src, "t.py"))
+
+    def test_early_exit_guard_ok(self):
+        src = '''
+def sample(tracer=None):
+    if tracer is None:
+        return
+    tracer.instant("checkpoint")
+'''
+        assert "REP109" not in ids_of(lint_source(src, "t.py"))
+
+    def test_boolop_guard_ok(self):
+        src = '''
+def sample(tracer=None):
+    return tracer is not None and tracer.count("span")
+'''
+        assert "REP109" not in ids_of(lint_source(src, "t.py"))
+
+    def test_passing_tracer_as_argument_ok(self):
+        src = '''
+class Enactor:
+    def __init__(self, machine, tracer=None):
+        self.tracer = tracer
+        if tracer is not None:
+            machine.attach_tracer(tracer)
+'''
+        assert "REP109" not in ids_of(lint_source(src, "t.py"))
+
+    def test_guard_does_not_leak_to_sibling(self):
+        src = '''
+def sample(tracer=None):
+    if tracer is not None:
+        tracer.instant("a")
+    tracer.instant("b")
+'''
+        findings = [f for f in lint_source(src, "t.py") if f.rule_id == "REP109"]
+        assert len(findings) == 1
+        assert findings[0].line == 5

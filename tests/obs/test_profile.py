@@ -1,0 +1,62 @@
+"""BSP term mapping and the per-operator hot-spot table."""
+
+from repro.obs import COMM_TRACK, Tracer, profile_rows, render_profile, term_of_span
+from repro.primitives import run_bfs
+from repro.sim.machine import Machine
+
+
+class TestTermMapping:
+    def test_terms(self):
+        t = Tracer()
+        cases = [
+            (t.span("op", "advance", 0.0, 1.0, track=0), "W"),
+            (t.span("op", "compute", 0.0, 1.0, track=0), "W"),
+            (t.span("comm", "send", 0.0, 1.0, track=COMM_TRACK), "H"),
+            (t.span("op", "split", 0.0, 1.0, track=0), "C"),
+            (t.span("op", "package", 0.0, 1.0, track=0), "C"),
+            (t.span("op", "unique", 0.0, 1.0, track=0), "C"),
+            (t.span("op", "framework", 0.0, 1.0, track=0), "S"),
+            (t.span("op", "checkpoint", 0.0, 1.0, track=0), "S"),
+        ]
+        for span, term in cases:
+            assert term_of_span(span) == term, span.name
+
+
+class TestProfileRows:
+    def test_aggregation_and_sort(self):
+        t = Tracer()
+        t.span("op", "advance", 0.0, 2.0, track=0)
+        t.span("op", "advance", 2.0, 2.0, track=1)
+        t.span("op", "filter", 0.0, 1.0, track=0)
+        t.span("superstep", "superstep 0", 0.0, 4.0, track=0)  # excluded
+        t.op_wall_sample("advance", 0.125)
+        rows = profile_rows(t)
+        assert [r["op"] for r in rows] == ["advance", "filter"]
+        adv = rows[0]
+        assert adv["calls"] == 2 and adv["virtual_s"] == 4.0
+        assert adv["pct"] == 80.0 and adv["wall_s"] == 0.125
+
+    def test_barrier_sync_row(self):
+        t = Tracer()
+        t.span("op", "advance", 0.0, 1.0, track=0)
+        t.instant("barrier", vt=1.5, iteration=0, sync=0.5)
+        t.instant("barrier", vt=3.0, iteration=1, sync=0.5)
+        (row,) = [r for r in profile_rows(t) if r["op"] == "barrier(sync)"]
+        assert row["term"] == "S" and row["calls"] == 2
+        assert row["virtual_s"] == 1.0
+
+    def test_real_run_covers_all_terms(self, small_rmat):
+        tracer = Tracer()
+        run_bfs(small_rmat, Machine(2), src=0, tracer=tracer)
+        terms = {r["term"] for r in profile_rows(tracer)}
+        assert terms == {"W", "H", "C", "S"}
+
+
+class TestRender:
+    def test_render_contains_legend_and_ops(self, small_rmat):
+        tracer = Tracer()
+        run_bfs(small_rmat, Machine(2), src=0, tracer=tracer)
+        text = render_profile(tracer)
+        assert "bfs per-operator profile" in text
+        assert "BSP terms (W + H·g + C + S·l):" in text
+        assert "advance" in text and "barrier(sync)" in text
