@@ -1,0 +1,373 @@
+"""Barrier-discipline verification (REP113).
+
+The backends' determinism contract (``core/backend.py`` docstring) rests
+on three structural properties of the *framework* code — not the
+primitives:
+
+1. every concrete ``map_supersteps`` returns results in **submission
+   order** (never completion order), so list position == GPU index;
+2. the enactor dispatches the superstep closures in **ascending GPU
+   index** and merges the staged :class:`GpuStepEffects` by iterating
+   that result list directly — no re-ordering between dispatch and
+   merge;
+3. the merge happens at the **barrier point**: after the merge loop the
+   enactor calls ``machine.barrier(...)`` before anything else consumes
+   the merged state, and there is exactly one merge site.
+
+These used to be prose ("asserted in test_backend_determinism.py" checks
+the *observable* equivalence, not the mechanism).  This verifier walks
+the two framework modules and proves each obligation syntactically; a
+refactor that gathers futures with ``as_completed``, sorts the results,
+or merges before the barrier turns a silent determinism regression into
+a REP113 finding.
+
+Each obligation is reported as proved/violated in a
+:class:`BarrierReport`; violations also flow through the normal
+findings pipeline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..findings import Finding
+
+__all__ = [
+    "BarrierReport",
+    "verify_barrier_discipline",
+    "DEEP_BARRIER_RULES",
+    "OBLIGATIONS",
+]
+
+DEEP_BARRIER_RULES = {
+    "REP113": (
+        "barrier-discipline",
+        "staged GpuStepEffects must be gathered in submission order and "
+        "merged only at barrier points in GPU-index order",
+    ),
+}
+
+#: obligation id -> human description (stable: consumed by docs/tests)
+OBLIGATIONS: Dict[str, str] = {
+    "backend-return-order": (
+        "every concrete map_supersteps returns results in submission "
+        "order (in-order comprehension over the closures or over "
+        "in-order-submitted futures)"
+    ),
+    "no-completion-order-gather": (
+        "no backend gathers futures in completion order (as_completed, "
+        "wait, add_done_callback)"
+    ),
+    "dispatch-in-gpu-index-order": (
+        "the enactor builds the superstep closure list in ascending "
+        "GPU-index order (no reversed/sorted/shuffled dispatch)"
+    ),
+    "merge-in-gpu-index-order": (
+        "the merge loop iterates the map_supersteps result list "
+        "directly, preserving GPU-index order"
+    ),
+    "merge-at-barrier": (
+        "each merge loop is followed by machine.barrier(...) before the "
+        "superstep loop continues"
+    ),
+    "single-merge-site": (
+        "staged effects are merged by exactly one loop (no second "
+        "partial-merge site)"
+    ),
+}
+
+#: future-gathering helpers that break submission order
+_COMPLETION_ORDER_NAMES = {"as_completed", "wait", "add_done_callback"}
+#: iterator wrappers that re-order a list
+_REORDERING_CALLS = {"sorted", "reversed", "set", "frozenset", "shuffle"}
+
+
+@dataclass
+class BarrierReport:
+    """Outcome of one barrier-discipline verification run."""
+
+    #: obligation id -> proved?
+    obligations: Dict[str, bool] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def all_proved(self) -> bool:
+        return all(self.obligations.values())
+
+    def describe(self) -> str:
+        proved = sum(1 for ok in self.obligations.values() if ok)
+        return (
+            f"barrier discipline: {proved}/{len(self.obligations)} "
+            "obligations proved"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "obligations": {
+                k: self.obligations[k] for k in sorted(self.obligations)
+            },
+            "all_proved": self.all_proved,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _finding(path: str, node: ast.AST, obligation: str, message: str,
+             **extra: str) -> Finding:
+    name, _ = DEEP_BARRIER_RULES["REP113"]
+    return Finding(
+        rule_id="REP113",
+        rule=name,
+        path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        message=message,
+        extra=dict(extra, obligation=obligation),
+    )
+
+
+def _call_name(node: ast.AST) -> Optional[str]:
+    """Bare callable name of a Call's func (Name or trailing Attribute)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_in_order_gather(
+    ret: ast.expr,
+    fns_param: str,
+    local_assigns: Dict[str, ast.expr],
+    depth: int = 0,
+) -> bool:
+    """Whether a return expression provably preserves submission order.
+
+    Accepts ``[fn() for fn in fns]`` (direct in-order execution) and
+    ``[f.result() for f in futures]`` where ``futures`` was built by an
+    in-order comprehension over the closures (``[pool.submit(fn) for fn
+    in fns]``).  A bare name resolves through local assignments.
+    """
+    if depth > 4:
+        return False
+    if isinstance(ret, ast.Name):
+        if ret.id not in local_assigns:
+            return False
+        return _is_in_order_gather(
+            local_assigns[ret.id], fns_param, local_assigns, depth + 1
+        )
+    if not isinstance(ret, ast.ListComp) or len(ret.generators) != 1:
+        return False
+    gen = ret.generators[0]
+    if gen.ifs or gen.is_async:
+        return False  # filtering changes positions; cannot prove order
+    src = gen.iter
+    if isinstance(src, ast.Name):
+        if src.id == fns_param:
+            return True  # iterating the closures themselves, in order
+        if src.id in local_assigns:
+            return _is_in_order_gather(
+                local_assigns[src.id], fns_param, local_assigns, depth + 1
+            )
+    return False
+
+
+def _check_backend_module(path: str, tree: ast.Module,
+                          report: BarrierReport) -> None:
+    for cls in (n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)):
+        for fn in (n for n in cls.body if isinstance(n, ast.FunctionDef)):
+            if fn.name != "map_supersteps":
+                continue
+            params = [a.arg for a in fn.args.args if a.arg != "self"]
+            if not params:
+                continue
+            fns_param = params[0]
+            if any(
+                isinstance(n, ast.Raise) for n in ast.walk(fn)
+            ) and not any(isinstance(n, ast.Return) for n in ast.walk(fn)):
+                continue  # abstract base: raises NotImplementedError
+            local_assigns: Dict[str, ast.expr] = {}
+            for node in ast.walk(fn):
+                if (isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)):
+                    local_assigns[node.targets[0].id] = node.value
+            for node in ast.walk(fn):
+                cname = _call_name(node) if isinstance(node, (
+                    ast.Call, ast.Name, ast.Attribute)) else None
+                if cname in _COMPLETION_ORDER_NAMES:
+                    report.obligations["no-completion-order-gather"] = False
+                    report.findings.append(_finding(
+                        path, node, "no-completion-order-gather",
+                        f"{cls.name}.map_supersteps uses '{cname}': "
+                        "gathering futures in completion order breaks the "
+                        "GPU-index-order determinism contract — gather in "
+                        "submission order instead",
+                        cls=cls.name,
+                    ))
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Return) or node.value is None:
+                    continue
+                if not _is_in_order_gather(node.value, fns_param,
+                                           local_assigns):
+                    report.obligations["backend-return-order"] = False
+                    report.findings.append(_finding(
+                        path, node, "backend-return-order",
+                        f"{cls.name}.map_supersteps: cannot prove this "
+                        "return preserves submission order; return an "
+                        "in-order comprehension over the closures or over "
+                        "in-order-submitted futures",
+                        cls=cls.name,
+                    ))
+
+
+def _barrier_lines(fn: ast.FunctionDef) -> List[int]:
+    lines = []
+    for node in ast.walk(fn):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "barrier"):
+            lines.append(node.lineno)
+    return lines
+
+
+def _check_enactor_module(path: str, tree: ast.Module,
+                          report: BarrierReport) -> None:
+    enact_fns = [
+        fn
+        for cls in ast.walk(tree) if isinstance(cls, ast.ClassDef)
+        for fn in cls.body
+        if isinstance(fn, ast.FunctionDef) and fn.name == "enact"
+    ]
+    for fn in enact_fns:
+        # names bound from a map_supersteps dispatch, and the closure-list
+        # argument names those dispatches consume
+        result_names: List[str] = []
+        dispatch_args: List[str] = []
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and _call_name(node.value) == "map_supersteps"
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                result_names.append(node.targets[0].id)
+                for arg in node.value.args:
+                    if isinstance(arg, ast.Name):
+                        dispatch_args.append(arg.id)
+        if not result_names:
+            report.obligations["single-merge-site"] = False
+            report.findings.append(_finding(
+                path, fn, "single-merge-site",
+                "enact() never assigns a map_supersteps result: the "
+                "verifier cannot locate the merge site",
+            ))
+            continue
+
+        # dispatch order: the closure lists must not be built through a
+        # re-ordering wrapper
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and node.targets[0].id in dispatch_args):
+                continue
+            for sub in ast.walk(node.value):
+                if (isinstance(sub, ast.Call)
+                        and _call_name(sub) in _REORDERING_CALLS):
+                    report.obligations["dispatch-in-gpu-index-order"] = False
+                    report.findings.append(_finding(
+                        path, sub, "dispatch-in-gpu-index-order",
+                        f"superstep closures are built through "
+                        f"'{_call_name(sub)}': dispatch must follow "
+                        "ascending GPU index so result positions are "
+                        "GPU indices",
+                    ))
+
+        merge_loops = [
+            node for node in ast.walk(fn)
+            if isinstance(node, ast.For)
+            and (
+                (isinstance(node.iter, ast.Name)
+                 and node.iter.id in result_names)
+                or (isinstance(node.iter, ast.Call)
+                    and any(isinstance(a, ast.Name)
+                            and a.id in result_names
+                            for a in node.iter.args))
+            )
+        ]
+        if len(merge_loops) > 1:
+            report.obligations["single-merge-site"] = False
+            for loop in merge_loops[1:]:
+                report.findings.append(_finding(
+                    path, loop, "single-merge-site",
+                    "staged effects are merged at more than one site; a "
+                    "second merge loop can interleave with barrier state",
+                ))
+        if not merge_loops:
+            report.obligations["merge-at-barrier"] = False
+            report.findings.append(_finding(
+                path, fn, "merge-at-barrier",
+                "enact() has no merge loop over the map_supersteps "
+                "results; staged effects are never applied",
+            ))
+            continue
+        barriers = _barrier_lines(fn)
+        for loop in merge_loops:
+            if isinstance(loop.iter, ast.Call):
+                report.obligations["merge-in-gpu-index-order"] = False
+                report.findings.append(_finding(
+                    path, loop, "merge-in-gpu-index-order",
+                    f"the merge loop iterates "
+                    f"'{_call_name(loop.iter)}(...)' instead of the "
+                    "result list itself: any wrapper may re-order the "
+                    "staged effects; iterate the list directly",
+                ))
+            merge_end = max(
+                (getattr(n, "lineno", loop.lineno)
+                 for n in ast.walk(loop)), default=loop.lineno
+            )
+            if not any(b >= merge_end for b in barriers):
+                report.obligations["merge-at-barrier"] = False
+                report.findings.append(_finding(
+                    path, loop, "merge-at-barrier",
+                    "no machine.barrier(...) call follows this merge "
+                    "loop: staged effects must be merged at the barrier "
+                    "point, not mid-superstep",
+                ))
+
+
+def verify_barrier_discipline(
+    backend: Optional[Tuple[str, str]] = None,
+    enactor: Optional[Tuple[str, str]] = None,
+) -> BarrierReport:
+    """Verify the framework's barrier obligations.
+
+    ``backend``/``enactor`` are optional ``(path, source)`` overrides
+    (used by tests to check mutated variants); by default the installed
+    ``repro.core.backend`` / ``repro.core.enactor`` sources are read.
+    """
+    report = BarrierReport(
+        obligations={name: True for name in OBLIGATIONS}
+    )
+    if backend is None:
+        backend = _read_module_source("repro.core.backend")
+    if enactor is None:
+        enactor = _read_module_source("repro.core.enactor")
+    b_path, b_src = backend
+    e_path, e_src = enactor
+    _check_backend_module(b_path, ast.parse(b_src, filename=b_path), report)
+    _check_enactor_module(e_path, ast.parse(e_src, filename=e_path), report)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return report
+
+
+def _read_module_source(modname: str) -> Tuple[str, str]:
+    import importlib
+
+    mod = importlib.import_module(modname)
+    path = mod.__file__ or modname
+    with open(path, "r", encoding="utf-8") as fh:
+        return path, fh.read()

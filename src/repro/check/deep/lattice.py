@@ -1,0 +1,127 @@
+"""Abstract domain for the deep dataflow tier.
+
+The interpreter (``repro.check.deep.interp``) propagates one
+:class:`AbstractValue` per expression.  The domain is deliberately small —
+three orthogonal facets cover the REP110–REP112 properties:
+
+* **dtype kind** — where the value's numeric width comes from.  ``ID`` and
+  ``VALUE`` are the IdConfig-parameterized kinds (``ids.vertex_dtype`` /
+  ``ids.value_dtype``); ``INT``/``FLOAT``/``BOOL`` are concrete Python or
+  numpy kinds; ``UNKNOWN`` is top.  The join is width-directed: FLOAT
+  absorbs integer kinds (that absorption *into an integer slice array* is
+  exactly the silent upcast REP110 flags).
+* **origin** — which memory the value aliases. ``SLICE`` is this GPU's own
+  slice arrays, ``MSG`` a received message payload (peer-visible: the
+  comm layer may hand the receiver a view of the sender's buffers),
+  ``PEER`` another GPU's slice, ``FRESH`` newly materialized data, and
+  ``OPAQUE`` anything the interpreter cannot place.
+* **view** — whether the value is a *basic-slice view* of its origin
+  (``arr[1:]``, ``arr.T``, ``.reshape``...).  Views matter because the
+  BSP sanitizer's shadow wrappers do not survive slicing
+  (docs/static_analysis.md, "known coverage limits"): a write through a
+  view is invisible to the dynamic tier, so the static tier must flag it
+  (REP111).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = [
+    "DTYPE_ID", "DTYPE_VALUE", "DTYPE_INT", "DTYPE_FLOAT", "DTYPE_BOOL",
+    "DTYPE_UNKNOWN",
+    "ORIGIN_SLICE", "ORIGIN_MSG", "ORIGIN_PEER", "ORIGIN_FRESH",
+    "ORIGIN_OPAQUE",
+    "AbstractValue", "join_dtype", "join", "INTEGER_KINDS",
+]
+
+# -- dtype kinds ------------------------------------------------------------
+DTYPE_ID = "id"          # IdConfig vertex dtype (integer, width-parameterized)
+DTYPE_VALUE = "value"    # IdConfig value dtype (float, width-parameterized)
+DTYPE_INT = "int"        # concrete integer (python int, np.int64, ...)
+DTYPE_FLOAT = "float"    # concrete float (python float, np.float64, ...)
+DTYPE_BOOL = "bool"
+DTYPE_UNKNOWN = "unknown"
+
+#: kinds whose storage is integral — a FLOAT stored into one truncates
+#: silently (numpy casts on subscript assignment without warning)
+INTEGER_KINDS = frozenset({DTYPE_ID, DTYPE_INT, DTYPE_BOOL})
+
+#: float-like kinds (VALUE is float by IdConfig convention)
+_FLOATISH = frozenset({DTYPE_FLOAT, DTYPE_VALUE})
+
+# -- origins ----------------------------------------------------------------
+ORIGIN_SLICE = "slice"   # this GPU's own DataSlice array
+ORIGIN_MSG = "msg"       # received Message payload (peer-visible memory)
+ORIGIN_PEER = "peer"     # another GPU's DataSlice (REP106's territory)
+ORIGIN_FRESH = "fresh"   # newly materialized (copy, unique, fancy index...)
+ORIGIN_OPAQUE = "opaque"  # unknown provenance
+
+
+def join_dtype(a: str, b: str) -> str:
+    """Dtype join for binary numpy ops: float-ness dominates.
+
+    ``ID op ID`` stays ``ID`` (width preserved); any float operand makes
+    the result concrete FLOAT unless both sides are the parameterized
+    VALUE kind (VALUE op VALUE stays VALUE).
+    """
+    if a == b:
+        return a
+    if DTYPE_UNKNOWN in (a, b):
+        return DTYPE_UNKNOWN
+    if a in _FLOATISH or b in _FLOATISH:
+        return DTYPE_FLOAT if a != b else a
+    # integer-kind mixtures: a concrete int absorbs BOOL; ID survives
+    # only against BOOL/INT scalars (indexing arithmetic)
+    if DTYPE_ID in (a, b):
+        return DTYPE_ID
+    return DTYPE_INT
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One expression's abstract state (immutable; use helpers to derive)."""
+
+    dtype: str = DTYPE_UNKNOWN
+    origin: str = ORIGIN_OPAQUE
+    #: slice-array name (origin SLICE/PEER) or payload field (origin MSG)
+    base: Optional[str] = None
+    #: True when this is a basic-slice/reshape view of its origin
+    is_view: bool = False
+    #: True for array-shaped values (False for scalars); views/writes only
+    #: make sense on arrays
+    is_array: bool = False
+
+    def as_view(self) -> "AbstractValue":
+        return replace(self, is_view=True)
+
+    def as_fresh(self) -> "AbstractValue":
+        """A materialized copy: provenance (and view-ness) is severed."""
+        return replace(self, origin=ORIGIN_FRESH, base=None, is_view=False)
+
+    def with_dtype(self, dtype: str) -> "AbstractValue":
+        return replace(self, dtype=dtype)
+
+    @property
+    def aliases_shared(self) -> bool:
+        """Whether writes through this value land in memory another GPU
+        (or the shadow-tracked slice) can observe."""
+        return self.origin in (ORIGIN_SLICE, ORIGIN_MSG, ORIGIN_PEER)
+
+
+#: the completely-unknown value (top)
+TOP = AbstractValue()
+
+
+def join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound of two abstract values (e.g. ternary arms)."""
+    if a == b:
+        return a
+    return AbstractValue(
+        dtype=a.dtype if a.dtype == b.dtype else join_dtype(a.dtype, b.dtype),
+        origin=a.origin if a.origin == b.origin else ORIGIN_OPAQUE,
+        base=a.base if a.base == b.base else None,
+        is_view=a.is_view or b.is_view,
+        is_array=a.is_array or b.is_array,
+    )

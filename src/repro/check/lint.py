@@ -34,8 +34,10 @@ def _collect_waivers(source: str) -> Dict[int, Set[str]]:
         m = _WAIVER_RE.search(line)
         if not m:
             continue
+        # everything after " -- " is the human reason, not a rule name
+        names = m.group(1).split("--", 1)[0]
         rules = {
-            r.strip() for r in m.group(1).split(",") if r.strip()
+            r.strip() for r in names.split(",") if r.strip()
         }
         target = lineno
         if line.strip().startswith("#"):
@@ -105,10 +107,16 @@ def iter_python_files(paths: Iterable[str]) -> List[Path]:
 def lint_paths(
     paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
 ) -> List[Finding]:
-    """Lint every ``.py`` file under the given paths."""
+    """Lint every ``.py`` file under the given paths.
+
+    Findings come back sorted by (path, line, col, rule) so repeated
+    runs — and ``--json`` diffs in CI — are byte-stable regardless of
+    filesystem walk order.
+    """
     findings: List[Finding] = []
     for f in iter_python_files(paths):
         findings.extend(
             lint_source(f.read_text(encoding="utf-8"), str(f), rules)
         )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings

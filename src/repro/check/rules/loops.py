@@ -1,13 +1,15 @@
-"""REP104 ``hot-loop``: no Python for-loops in operator hot paths.
+"""REP104 ``hot-loop``: no Python-level per-element iteration in hot paths.
 
 Correctness-bearing computation runs in NumPy precisely because a
 vectorized statement is this reproduction's stand-in for a GPU kernel
 (DESIGN.md).  A Python-level ``for`` over frontier/edge elements inside
 ``full_queue_core``/``expand_incoming`` is the simulated equivalent of
 single-threaded device code: it bypasses the kernel cost model and is
-orders of magnitude slower.  Fixpoint ``while`` loops (pass counters,
-pointer-jumping rounds) are iteration counts, not per-element work, and
-are allowed.
+orders of magnitude slower.  The same applies to iteration dressed up as
+an expression — generator/list/set/dict comprehensions and ``map`` /
+``filter`` calls still execute a Python-level loop over every element.
+Fixpoint ``while`` loops (pass counters, pointer-jumping rounds) are
+iteration counts, not per-element work, and are allowed.
 """
 
 from __future__ import annotations
@@ -20,16 +22,26 @@ from .base import CONTROL_HOOKS, ModuleContext, Rule
 
 __all__ = ["HotLoopRule"]
 
+#: builtins whose call is a hidden Python-level element loop
+_LOOPING_BUILTINS = {"map", "filter"}
+
+_COMPREHENSIONS = (
+    ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp,
+)
+
 
 class HotLoopRule(Rule):
-    """Flag ``for`` statements inside iteration-class methods that run
-    within the superstep (everything except the control-plane hooks)."""
+    """Flag per-element Python iteration inside iteration-class methods
+    that run within the superstep (everything except the control-plane
+    hooks): ``for`` statements, comprehensions/generator expressions,
+    and ``map``/``filter`` calls."""
 
     rule_id = "REP104"
     name = "hot-loop"
     description = (
-        "Python for-loops are forbidden in operator hot paths; "
-        "vectorize with numpy"
+        "Python-level per-element iteration (for-loops, comprehensions, "
+        "map/filter) is forbidden in operator hot paths; vectorize with "
+        "numpy"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
@@ -45,5 +57,32 @@ class HotLoopRule(Rule):
                             f"{cls.name}.{method.name}; per-element work "
                             "must be a vectorized numpy operation (the "
                             "simulated kernel)",
+                            cls=cls.name, method=method.name,
+                        )
+                    elif isinstance(node, _COMPREHENSIONS):
+                        kind = (
+                            "generator expression"
+                            if isinstance(node, ast.GeneratorExp)
+                            else "comprehension"
+                        )
+                        yield self.finding(
+                            ctx, node,
+                            f"{kind} inside hot path "
+                            f"{cls.name}.{method.name}: it is still a "
+                            "Python-level loop over every element; "
+                            "vectorize with numpy",
+                            cls=cls.name, method=method.name,
+                        )
+                    elif (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id in _LOOPING_BUILTINS
+                    ):
+                        yield self.finding(
+                            ctx, node,
+                            f"'{node.func.id}(...)' inside hot path "
+                            f"{cls.name}.{method.name}: map/filter run a "
+                            "Python-level loop (and call a Python "
+                            "function) per element; vectorize with numpy",
                             cls=cls.name, method=method.name,
                         )

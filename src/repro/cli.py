@@ -169,6 +169,21 @@ def _build_parser() -> argparse.ArgumentParser:
                             "installed repro package)")
     check.add_argument("--json", action="store_true", dest="as_json",
                        help="emit findings as JSON instead of text")
+    check.add_argument("--deep", action="store_true",
+                       help="also run the deep tier: abstract "
+                            "interpretation of hook bodies (REP110-112), "
+                            "barrier-discipline verification (REP113), "
+                            "and combiner certification (REP114)")
+    check.add_argument("--sarif", nargs="?", const="-", metavar="FILE",
+                       help="emit SARIF 2.1.0 (to FILE, or stdout when "
+                            "no file is given)")
+    check.add_argument("--baseline", metavar="FILE",
+                       help="suppress findings recorded in this baseline "
+                            "file; only new findings fail the gate")
+    check.add_argument("--write-baseline", metavar="FILE",
+                       dest="write_baseline",
+                       help="record the current findings as the baseline "
+                            "and exit 0")
     return p
 
 
@@ -520,6 +535,8 @@ def _cmd_trace(args, out) -> int:
 
 
 def _cmd_check(args, out) -> int:
+    import json as _json
+
     from .check import findings_to_json, lint_paths, render_findings
 
     paths = args.paths
@@ -528,15 +545,87 @@ def _cmd_check(args, out) -> int:
         import repro
 
         paths = [repro.__path__[0]]
+    deep_report = None
     try:
         findings = lint_paths(paths)
+        if args.deep:
+            from .check.deep import deep_analyze_paths
+
+            deep_report = deep_analyze_paths(paths)
+            findings.extend(deep_report.findings)
     except OSError as exc:
         print(f"repro check: error: {exc}", file=sys.stderr)
         return 2
+    # stable order for CI diffs, across files and tiers
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+
+    suppressed = []
+    if args.baseline:
+        from .check.deep import load_baseline, split_baselined
+
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro check: error: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed = split_baselined(findings, baseline)
+    if args.write_baseline:
+        from .check.deep import write_baseline
+
+        try:
+            n = write_baseline(args.write_baseline, findings)
+        except OSError as exc:
+            print(f"repro check: error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"repro check: wrote {n} suppression"
+            f"{'s' if n != 1 else ''} to {args.write_baseline}",
+            file=out,
+        )
+        return 0
+
+    if args.sarif is not None:
+        from .check.deep import DEEP_RULES, findings_to_sarif
+        from .check.rules import default_rules
+
+        rules = {
+            r.rule_id: (r.name, r.description) for r in default_rules()
+        }
+        rules.update(DEEP_RULES)
+        sarif = findings_to_sarif(findings, rules=rules)
+        if args.sarif == "-":
+            print(sarif, file=out)
+            return 1 if findings else 0
+        try:
+            with open(args.sarif, "w", encoding="utf-8") as fh:
+                fh.write(sarif + "\n")
+        except OSError as exc:
+            print(f"repro check: error: {exc}", file=sys.stderr)
+            return 2
+
     if args.as_json:
-        print(findings_to_json(findings), file=out)
+        doc = _json.loads(findings_to_json(findings))
+        if deep_report is not None:
+            doc["certificates"] = [
+                c.to_dict() for c in deep_report.certificates
+            ]
+            if deep_report.barrier is not None:
+                doc["barrier"] = deep_report.barrier.to_dict()
+        if suppressed:
+            doc["suppressed"] = len(suppressed)
+        print(_json.dumps(doc, indent=2, sort_keys=True), file=out)
     else:
         print(render_findings(findings), file=out)
+        if deep_report is not None:
+            print(deep_report.render_certificates(), file=out)
+            if deep_report.barrier is not None:
+                print(deep_report.barrier.describe(), file=out)
+        if suppressed:
+            print(
+                f"repro check: {len(suppressed)} baselined finding"
+                f"{'s' if len(suppressed) != 1 else ''} suppressed",
+                file=out,
+            )
     return 1 if findings else 0
 
 

@@ -126,6 +126,19 @@ class Enactor:
         bit-identical (results and metrics) to untraced runs on both
         backends.  ``None`` (the default) costs one pointer check per
         hook site, the ``sim/faults.py`` discipline (lint rule REP109).
+    relaxed_barriers:
+        Opt in to the (future) relaxed-barrier execution mode (ROADMAP
+        item 5).  Gated by a **certification precondition**: every
+        combiner declared for an array actually allocated on the data
+        slices must carry a :class:`CombinerCertificate`
+        (``repro.check.deep.certify``) proving — by exhaustive
+        evaluation, not by trusting the declaration — that its merge op
+        is idempotent *and* commutative.  Declarations the certifier
+        refutes, cannot resolve, or that are nondeterministic by design
+        (``witness``) raise :class:`SimulationError` at construction.
+        The certificates are kept in ``self.combiner_certificates``.
+        Execution semantics are unchanged today: this lands the safety
+        gate before the relaxation itself.
     """
 
     def __init__(
@@ -143,6 +156,7 @@ class Enactor:
         checkpoint_path: Optional[str] = None,
         recovery: Optional[RecoveryPolicy] = None,
         tracer: Optional[Tracer] = None,
+        relaxed_barriers: bool = False,
     ):
         self.problem = problem
         self.machine: Machine = problem.machine
@@ -176,7 +190,44 @@ class Enactor:
         self.workspaces: List[Optional[Workspace]] = [
             Workspace(i) if use_workspace else None for i in range(n)
         ]
+        self.relaxed_barriers = relaxed_barriers
+        self.combiner_certificates: dict = {}
+        if relaxed_barriers:
+            self._certify_combiners()
         self._setup_buffers()
+
+    def _certify_combiners(self) -> None:
+        """Relaxed-barrier precondition: every combiner guarding a live
+        slice array must be *certified* idempotent + commutative by the
+        deep tier's exhaustive evaluation — a declaration alone is never
+        enough.  Arrays the problem declares combiners for but does not
+        allocate in this configuration (e.g. BFS ``preds`` without
+        ``mark_predecessors``) are out of play and not required."""
+        from ..check.deep.certify import certify_problem_combiners
+
+        live = list(self.problem.data_slices[0].arrays) if (
+            self.problem.data_slices
+        ) else None
+        self.combiner_certificates = certify_problem_combiners(
+            self.problem, arrays=live
+        )
+        failures = [
+            cert for cert in self.combiner_certificates.values()
+            if not cert.certified_order_independent
+        ]
+        if failures:
+            detail = "; ".join(
+                f"{c.array}: op '{c.op}' is {c.status}"
+                + (f" (counterexamples: {sorted(c.counterexamples)})"
+                   if c.counterexamples else "")
+                for c in failures
+            )
+            raise SimulationError(
+                "relaxed_barriers requires every live combiner to be "
+                "certified idempotent and commutative by exhaustive "
+                f"evaluation; refused for {detail}",
+                site="enactor.certify",
+            )
 
     def _setup_buffers(self) -> None:
         """Size frontier/intermediate/comm buffers on every device pool.

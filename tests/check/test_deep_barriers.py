@@ -1,0 +1,158 @@
+"""Barrier-discipline verifier (REP113): the shipped framework proves
+all obligations; mutated variants that break the determinism contract
+are flagged."""
+
+from repro.check.deep import verify_barrier_discipline
+from repro.check.deep.barriers import OBLIGATIONS
+
+
+def obligations_of(findings):
+    return {f.extra.get("obligation") for f in findings}
+
+
+class TestShippedFramework:
+    def test_all_obligations_proved(self):
+        report = verify_barrier_discipline()
+        assert report.all_proved, report.findings
+        assert report.findings == []
+        assert set(report.obligations) == set(OBLIGATIONS)
+
+    def test_report_serializes(self):
+        d = verify_barrier_discipline().to_dict()
+        assert d["all_proved"] is True
+        assert all(d["obligations"].values())
+
+
+GOOD_BACKEND = '''
+class SerialBackend:
+    def map_supersteps(self, fns):
+        return [fn() for fn in fns]
+
+
+class ThreadsBackend:
+    def map_supersteps(self, fns):
+        futures = [pool.submit(fn) for fn in fns]
+        return [f.result() for f in futures]
+'''
+
+GOOD_ENACTOR = '''
+class Enactor:
+    def enact(self):
+        while True:
+            step_fns = [(lambda idx=i: step(idx)) for i in range(n)]
+            results = self.backend.map_supersteps(step_fns)
+            for eff in results:
+                apply(eff)
+            self.machine.barrier()
+            if done():
+                break
+'''
+
+
+class TestBackendMutations:
+    def test_good_shapes_prove(self):
+        report = verify_barrier_discipline(
+            backend=("b.py", GOOD_BACKEND), enactor=("e.py", GOOD_ENACTOR)
+        )
+        assert report.all_proved, report.findings
+
+    def test_completion_order_gather_flagged(self):
+        bad = '''
+from concurrent.futures import as_completed
+
+
+class ThreadsBackend:
+    def map_supersteps(self, fns):
+        futures = [pool.submit(fn) for fn in fns]
+        return [f.result() for f in as_completed(futures)]
+'''
+        report = verify_barrier_discipline(
+            backend=("b.py", bad), enactor=("e.py", GOOD_ENACTOR)
+        )
+        assert not report.all_proved
+        assert not report.obligations["no-completion-order-gather"]
+        assert "no-completion-order-gather" in obligations_of(
+            report.findings
+        )
+        assert all(f.rule_id == "REP113" for f in report.findings)
+
+    def test_unprovable_return_order_flagged(self):
+        bad = '''
+class ThreadsBackend:
+    def map_supersteps(self, fns):
+        results = []
+        for fn in fns:
+            results.append(fn())
+        return sorted(results, key=id)
+'''
+        report = verify_barrier_discipline(
+            backend=("b.py", bad), enactor=("e.py", GOOD_ENACTOR)
+        )
+        assert not report.obligations["backend-return-order"]
+
+    def test_filtered_gather_is_not_order_provable(self):
+        bad = '''
+class T:
+    def map_supersteps(self, fns):
+        return [fn() for fn in fns if fn is not None]
+'''
+        report = verify_barrier_discipline(
+            backend=("b.py", bad), enactor=("e.py", GOOD_ENACTOR)
+        )
+        assert not report.obligations["backend-return-order"]
+
+
+class TestEnactorMutations:
+    def test_merge_without_barrier_flagged(self):
+        bad = GOOD_ENACTOR.replace("            self.machine.barrier()\n",
+                                   "")
+        report = verify_barrier_discipline(
+            backend=("b.py", GOOD_BACKEND), enactor=("e.py", bad)
+        )
+        assert not report.obligations["merge-at-barrier"]
+        assert "merge-at-barrier" in obligations_of(report.findings)
+
+    def test_reordered_merge_flagged(self):
+        bad = GOOD_ENACTOR.replace(
+            "for eff in results:", "for eff in sorted(results, key=id):"
+        )
+        report = verify_barrier_discipline(
+            backend=("b.py", GOOD_BACKEND), enactor=("e.py", bad)
+        )
+        assert not report.obligations["merge-in-gpu-index-order"]
+
+    def test_reordered_dispatch_flagged(self):
+        bad = GOOD_ENACTOR.replace(
+            "step_fns = [(lambda idx=i: step(idx)) for i in range(n)]",
+            "step_fns = list(reversed("
+            "[(lambda idx=i: step(idx)) for i in range(n)]))",
+        )
+        report = verify_barrier_discipline(
+            backend=("b.py", GOOD_BACKEND), enactor=("e.py", bad)
+        )
+        assert not report.obligations["dispatch-in-gpu-index-order"]
+
+    def test_double_merge_flagged(self):
+        bad = GOOD_ENACTOR.replace(
+            "            self.machine.barrier()\n",
+            "            self.machine.barrier()\n"
+            "            for eff in results:\n"
+            "                apply_again(eff)\n",
+        )
+        report = verify_barrier_discipline(
+            backend=("b.py", GOOD_BACKEND), enactor=("e.py", bad)
+        )
+        assert not report.obligations["single-merge-site"]
+
+    def test_missing_merge_loop_flagged(self):
+        bad = '''
+class Enactor:
+    def enact(self):
+        results = self.backend.map_supersteps(step_fns)
+        self.machine.barrier()
+        return results
+'''
+        report = verify_barrier_discipline(
+            backend=("b.py", GOOD_BACKEND), enactor=("e.py", bad)
+        )
+        assert not report.obligations["merge-at-barrier"]

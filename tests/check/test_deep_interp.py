@@ -1,0 +1,333 @@
+"""Deep-tier abstract interpreter: REP110 (silent-upcast), REP111
+(alias-write), REP112 (superstep-escape) — positives, negatives, the
+interprocedural reach, waivers, and the shipped-package cleanliness
+gate from the issue's acceptance criteria."""
+
+import pathlib
+
+import repro
+from repro.check.deep import deep_analyze_paths, deep_analyze_source
+
+
+def ids_of(findings):
+    return [f.rule_id for f in findings]
+
+
+PREAMBLE = '''
+"""doc"""
+import numpy as np
+from repro.core.problem import ProblemBase
+from repro.core.iteration import IterationBase
+from repro.core.combine import MIN
+
+
+class ToyProblem(ProblemBase):
+    combiners = {"labels": MIN}
+
+    def init_data_slice(self, ds, sub):
+        ids = sub.csr.ids
+        ds.allocate("labels", sub.num_vertices, ids.vertex_dtype)
+        ds.allocate("rank", sub.num_vertices, ids.value_dtype)
+        ds.allocate("bitmap", sub.num_vertices, bool)
+'''
+
+
+def deep(src):
+    findings, _certs = deep_analyze_source(src, "t.py")
+    return findings
+
+
+class TestSilentUpcast:
+    def test_float_into_id_array_flagged(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        labels = ctx.slice["labels"]
+        labels[frontier] = frontier * 0.5
+        return frontier, []
+'''
+        findings = deep(src)
+        assert "REP110" in ids_of(findings)
+        assert any("labels" in f.message for f in findings)
+
+    def test_true_division_is_float(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        labels = ctx.slice["labels"]
+        labels[frontier] = frontier / 2
+        return frontier, []
+'''
+        assert "REP110" in ids_of(deep(src))
+
+    def test_float_fill_into_bool_bitmap_flagged(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        ctx.slice["bitmap"].fill(0.5)
+        return frontier, []
+'''
+        assert "REP110" in ids_of(deep(src))
+
+    def test_explicit_astype_is_deliberate(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        labels = ctx.slice["labels"]
+        labels[frontier] = (frontier * 0.5).astype(np.int64)
+        return frontier, []
+'''
+        assert "REP110" not in ids_of(deep(src))
+
+    def test_float_into_value_array_is_fine(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        ctx.slice["rank"][frontier] = 0.5
+        return frontier, []
+'''
+        assert "REP110" not in ids_of(deep(src))
+
+    def test_integer_arithmetic_into_id_is_fine(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        labels = ctx.slice["labels"]
+        labels[frontier] = ctx.iteration + 1
+        return frontier, []
+'''
+        assert "REP110" not in ids_of(deep(src))
+
+
+class TestAliasWrite:
+    def test_write_through_slice_view_flagged(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        view = ctx.slice["labels"][1:]
+        view[0] = 3
+        return frontier, []
+'''
+        findings = deep(src)
+        assert "REP111" in ids_of(findings)
+        assert any("view" in f.message for f in findings)
+
+    def test_fill_on_anonymous_view_flagged(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        ctx.slice["labels"][:10].fill(0)
+        return frontier, []
+'''
+        assert "REP111" in ids_of(deep(src))
+
+    def test_fancy_index_copy_is_private(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        part = ctx.slice["labels"][frontier]
+        part[0] = 1
+        return frontier, []
+'''
+        assert "REP111" not in ids_of(deep(src))
+
+    def test_direct_slice_array_write_is_fine(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        ctx.slice["labels"][frontier] = ctx.iteration
+        return frontier, []
+'''
+        assert "REP111" not in ids_of(deep(src))
+
+    def test_write_into_message_payload_flagged(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def expand_incoming(self, ctx, msg):
+        msg.vertices[0] = 0
+        return msg.vertices, []
+'''
+        assert "REP111" in ids_of(deep(src))
+
+    def test_asarray_preserves_message_alias(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def expand_incoming(self, ctx, msg):
+        incoming = np.asarray(msg.value_associates[0])
+        incoming[0] = 1.0
+        return msg.vertices, []
+'''
+        assert "REP111" in ids_of(deep(src))
+
+    def test_copy_of_message_is_private(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def expand_incoming(self, ctx, msg):
+        incoming = np.asarray(msg.value_associates[0]).copy()
+        incoming[0] = 1.0
+        return msg.vertices, []
+'''
+        assert "REP111" not in ids_of(deep(src))
+
+
+class TestSuperstepEscape:
+    def test_undeclared_self_attr_flagged(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        self.cache = frontier
+        return frontier, []
+'''
+        findings = deep(src)
+        assert "REP112" in ids_of(findings)
+        assert any("self.cache" in f.message for f in findings)
+
+    def test_undeclared_attr_subscript_store_flagged(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def __init__(self, problem):
+        super().__init__(problem)
+        self._tmp = {}
+
+    def full_queue_core(self, ctx, frontier):
+        self._tmp[ctx.gpu.device_id] = frontier
+        return frontier, []
+'''
+        assert "REP112" in ids_of(deep(src))
+
+    def test_snapshot_exclude_declares_cache(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    SNAPSHOT_EXCLUDE = IterationBase.SNAPSHOT_EXCLUDE | {"_tmp"}
+
+    def full_queue_core(self, ctx, frontier):
+        self._tmp[ctx.gpu.device_id] = frontier
+        return frontier, []
+'''
+        assert "REP112" not in ids_of(deep(src))
+
+    def test_checkpoint_attrs_declares_effect(self):
+        src = PREAMBLE.replace(
+            'combiners = {"labels": MIN}',
+            'combiners = {"labels": MIN}\n'
+            '    CHECKPOINT_ATTRS = ("max_delta",)',
+        ) + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        problem = self.problem
+        problem.max_delta[0] = 1.0
+        return frontier, []
+'''
+        assert "REP112" not in ids_of(deep(src))
+
+    def test_control_hooks_are_exempt(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        return frontier, []
+
+    def should_stop(self, iteration, frontier_sizes, in_flight):
+        self.phase_memo = iteration
+        return True
+'''
+        assert "REP112" not in ids_of(deep(src))
+
+    def test_init_is_exempt(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def __init__(self, problem):
+        super().__init__(problem)
+        self.anything = 1
+
+    def full_queue_core(self, ctx, frontier):
+        return frontier, []
+'''
+        assert "REP112" not in ids_of(deep(src))
+
+
+class TestInterprocedural:
+    def test_upcast_inside_module_helper_flagged(self):
+        src = PREAMBLE + '''
+def scatter_halves(labels, idx):
+    labels[idx] = idx * 0.5
+
+
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        scatter_halves(ctx.slice["labels"], frontier)
+        return frontier, []
+'''
+        findings = deep(src)
+        assert "REP110" in ids_of(findings)
+
+    def test_view_write_inside_helper_flagged(self):
+        src = PREAMBLE + '''
+def stomp(arr):
+    head = arr[1:]
+    head[0] = 7
+
+
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        stomp(ctx.slice["labels"])
+        return frontier, []
+'''
+        assert "REP111" in ids_of(deep(src))
+
+    def test_clean_helper_not_flagged(self):
+        src = PREAMBLE + '''
+def scatter_ints(labels, idx, val):
+    labels[idx] = val
+
+
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        scatter_ints(ctx.slice["labels"], frontier, ctx.iteration)
+        return frontier, []
+'''
+        findings = deep(src)
+        assert "REP110" not in ids_of(findings)
+        assert "REP111" not in ids_of(findings)
+
+    def test_helper_method_of_iteration_class_analyzed(self):
+        # BC's self._forward_core pattern: helper methods are hot too
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        return self._core(ctx, frontier)
+
+    def _core(self, ctx, frontier):
+        ctx.slice["labels"][frontier] = 0.5 * frontier
+        return frontier, []
+'''
+        assert "REP110" in ids_of(deep(src))
+
+
+class TestWaiversAndScope:
+    def test_waiver_suppresses_deep_finding(self):
+        src = PREAMBLE + '''
+class ToyIteration(IterationBase):
+    def full_queue_core(self, ctx, frontier):
+        view = ctx.slice["labels"][1:]
+        view[0] = 3  # repro-check: disable=REP111 -- measured, single GPU
+        return frontier, []
+'''
+        assert "REP111" not in ids_of(deep(src))
+
+    def test_non_primitive_module_produces_nothing(self):
+        findings, certs = deep_analyze_source(
+            "import numpy as np\nx = np.zeros(4)\nx[0] = 0.5\n", "util.py"
+        )
+        assert findings == []
+        assert certs == []
+
+
+class TestShippedPackageClean:
+    def test_no_deep_findings_across_all_six_primitives(self):
+        # the acceptance criterion: zero non-baselined REP110-112
+        # findings across the shipped primitives (and the rest of the
+        # package), with the barrier obligations proved
+        pkg = pathlib.Path(repro.__path__[0])
+        report = deep_analyze_paths([str(pkg)])
+        assert report.findings == []
+        assert report.barrier is not None and report.barrier.all_proved
