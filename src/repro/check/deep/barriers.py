@@ -6,10 +6,11 @@ primitives:
 
 1. every concrete ``map_supersteps`` returns results in **submission
    order** (never completion order), so list position == GPU index;
-2. the enactor dispatches the superstep closures in **ascending GPU
-   index** and merges the staged :class:`GpuStepEffects` by iterating
-   that result list directly — no re-ordering between dispatch and
-   merge;
+2. the enactor dispatches the supersteps in **ascending GPU index**
+   (via ``backend.run_iteration``, whose default builds the closure
+   list in ``gpu_indices`` order and defers to ``map_supersteps``) and
+   merges the staged :class:`GpuStepEffects` by iterating that result
+   list directly — no re-ordering between dispatch and merge;
 3. the merge happens at the **barrier point**: after the merge loop the
    enactor calls ``machine.barrier(...)`` before anything else consumes
    the merged state, and there is exactly one merge site.
@@ -61,12 +62,12 @@ OBLIGATIONS: Dict[str, str] = {
         "wait, add_done_callback)"
     ),
     "dispatch-in-gpu-index-order": (
-        "the enactor builds the superstep closure list in ascending "
-        "GPU-index order (no reversed/sorted/shuffled dispatch)"
+        "the enactor dispatches supersteps in ascending GPU-index order "
+        "(no reversed/sorted/shuffled closure list or gpu_indices)"
     ),
     "merge-in-gpu-index-order": (
-        "the merge loop iterates the map_supersteps result list "
-        "directly, preserving GPU-index order"
+        "the merge loop iterates the dispatch result list directly, "
+        "preserving GPU-index order"
     ),
     "merge-at-barrier": (
         "each merge loop is followed by machine.barrier(...) before the "
@@ -80,6 +81,11 @@ OBLIGATIONS: Dict[str, str] = {
 
 #: future-gathering helpers that break submission order
 _COMPLETION_ORDER_NAMES = {"as_completed", "wait", "add_done_callback"}
+#: enactor-side dispatch entry points whose assigned result is the merge
+#: input: the legacy closure-list call and the structured per-iteration
+#: call (serial/threads default to closures, processes to a pipe
+#: protocol — both must return results in gpu_indices order)
+_DISPATCH_NAMES = {"map_supersteps", "run_iteration"}
 #: iterator wrappers that re-order a list
 _REORDERING_CALLS = {"sorted", "reversed", "set", "frozenset", "shuffle"}
 
@@ -243,17 +249,19 @@ def _check_enactor_module(path: str, tree: ast.Module,
         if isinstance(fn, ast.FunctionDef) and fn.name == "enact"
     ]
     for fn in enact_fns:
-        # names bound from a map_supersteps dispatch, and the closure-list
-        # argument names those dispatches consume
+        # names bound from a dispatch call (map_supersteps or
+        # run_iteration), and the argument names those dispatches consume
         result_names: List[str] = []
         dispatch_args: List[str] = []
+        dispatch_calls: List[ast.Call] = []
         for node in ast.walk(fn):
             if (isinstance(node, ast.Assign)
                     and isinstance(node.value, ast.Call)
-                    and _call_name(node.value) == "map_supersteps"
+                    and _call_name(node.value) in _DISPATCH_NAMES
                     and len(node.targets) == 1
                     and isinstance(node.targets[0], ast.Name)):
                 result_names.append(node.targets[0].id)
+                dispatch_calls.append(node.value)
                 for arg in node.value.args:
                     if isinstance(arg, ast.Name):
                         dispatch_args.append(arg.id)
@@ -261,10 +269,28 @@ def _check_enactor_module(path: str, tree: ast.Module,
             report.obligations["single-merge-site"] = False
             report.findings.append(_finding(
                 path, fn, "single-merge-site",
-                "enact() never assigns a map_supersteps result: the "
-                "verifier cannot locate the merge site",
+                "enact() never assigns a dispatch (map_supersteps / "
+                "run_iteration) result: the verifier cannot locate the "
+                "merge site",
             ))
             continue
+
+        # gpu_indices handed to the dispatch must not pass through a
+        # re-ordering wrapper inline (sorted(...), reversed(...))
+        for call in dispatch_calls:
+            for arg in call.args:
+                for sub in ast.walk(arg):
+                    if (isinstance(sub, ast.Call)
+                            and _call_name(sub) in _REORDERING_CALLS):
+                        report.obligations[
+                            "dispatch-in-gpu-index-order"] = False
+                        report.findings.append(_finding(
+                            path, sub, "dispatch-in-gpu-index-order",
+                            f"a dispatch argument is built through "
+                            f"'{_call_name(sub)}': dispatch must follow "
+                            "ascending GPU index so result positions are "
+                            "GPU indices",
+                        ))
 
         # dispatch order: the closure lists must not be built through a
         # re-ordering wrapper

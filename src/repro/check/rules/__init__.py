@@ -21,6 +21,7 @@ from .hooks import IterationHooksRule
 from .loops import HotLoopRule
 from .obs_guard import UnguardedTracerRule
 from .peer_access import PeerMutationRule
+from .process_safety import ProcessUnsafeStateRule
 from .swallow import SwallowedErrorRule
 from .workspace_rule import WorkspaceBypassRule
 
@@ -39,6 +40,7 @@ __all__ = [
     "WorkspaceBypassRule",
     "SwallowedErrorRule",
     "UnguardedTracerRule",
+    "ProcessUnsafeStateRule",
 ]
 
 #: every shipped rule class, in rule-ID order
@@ -52,6 +54,7 @@ DEFAULT_RULES: List[Type[Rule]] = [
     WorkspaceBypassRule,
     SwallowedErrorRule,
     UnguardedTracerRule,
+    ProcessUnsafeStateRule,
 ]
 
 

@@ -248,6 +248,18 @@ class BspSanitizer:
         self._tls.gpu = None
         self._tls.stage = None
 
+    def take_stage(self, gpu: int) -> Optional[_GpuStage]:
+        """Pop one GPU's stage (processes-backend worker side: the stage
+        ships to the parent in the sidecar; it is a plain picklable
+        dataclass)."""
+        return self._stages.pop(gpu, None)
+
+    def adopt_stage(self, gpu: int, stage: Optional[_GpuStage]) -> None:
+        """Install a worker-produced stage so :meth:`on_barrier` merges
+        it exactly like a locally produced one."""
+        if stage is not None:
+            self._stages[gpu] = stage
+
     def on_barrier(self, superstep: int) -> None:
         """Merge per-GPU stages (in GPU order, reproducing the serial
         append order) and check logged writes for replicated WW races."""

@@ -72,9 +72,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run under the BSP race sanitizer and report "
                           "hazards (exit 1 if any are found)")
     run.add_argument("--backend", default="serial",
-                     help="execution backend: serial, threads, or "
-                          "threads:N (results are identical; only "
-                          "wall-clock changes)")
+                     help="execution backend: serial, threads[:N], or "
+                          "processes[:N] (results are bit-identical; "
+                          "only wall-clock changes)")
+    run.add_argument("--kernels", action="store_true",
+                     help="enable the compiled hot-loop kernels "
+                          "(Numba njit; falls back to the interpreted "
+                          "NumPy operators when Numba is absent)")
     run.add_argument("--faults", metavar="PLAN.json",
                      help="arm a fault plan (see repro.sim.faults."
                           "FaultPlan) before the run")
@@ -104,12 +108,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-gpus", type=int, default=6)
     sweep.add_argument("--src", type=int, default=0)
     sweep.add_argument("--backend", default="serial",
-                       help="execution backend: serial, threads, threads:N")
+                       help="execution backend: serial, threads[:N], "
+                            "processes[:N]")
 
     bench = sub.add_parser(
         "bench",
         help="wall-clock benchmark of the execution backends "
-             "(serial vs threads vs no-workspace)",
+             "(serial vs threads vs processes vs compiled kernels)",
     )
     bench.add_argument("--out", default="BENCH_2.json",
                        help="output JSON path (default: BENCH_2.json)")
@@ -124,9 +129,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "graphs, bfs+pr only")
     bench.add_argument("--gate", action="store_true",
                        help="exit 1 if the threads backend is >1.2x "
-                            "slower than serial, or an attached tracer "
-                            "is >1.5x serial, on the 4-GPU rmat BFS "
-                            "case (CI regression gate)")
+                            "slower than serial, the processes backend "
+                            "is slower than threads, or an attached "
+                            "tracer is >1.5x serial, on the 4-GPU rmat "
+                            "BFS case (CI regression gate; the backend "
+                            "gates report 'skipped' on a 1-core host "
+                            "instead of passing vacuously)")
     bench.add_argument("--baseline", metavar="BENCH.json",
                        help="previous bench JSON to compare the serial "
                             "(tracing-disabled) medians against; skipped "
@@ -145,7 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--kinds", nargs="+", default=None,
                        choices=["transient-comm", "oom", "gpu-loss"])
     chaos.add_argument("--backends", nargs="+", default=None,
-                       choices=["serial", "threads"])
+                       choices=["serial", "threads", "processes"])
     chaos.add_argument("--rmat-scale", type=int, default=7)
     chaos.add_argument("--seed", type=int, default=3)
     chaos.add_argument("--smoke", action="store_true",
@@ -246,6 +254,11 @@ def _run_once(args, graph, scale, num_gpus, out=None, tracer=None):
 
 
 def _cmd_run(args, out) -> int:
+    if getattr(args, "kernels", False):
+        from .core import kernels
+
+        st = kernels.enable()
+        print(f"kernels: {st['backend']}", file=sys.stderr)
     graph, scale = _prepare(args)
     tracer = None
     writer = None
@@ -362,8 +375,6 @@ def _cmd_sweep(args, out) -> int:
 def _cmd_bench(args, out) -> int:
     from .bench import (
         check_baseline_overhead,
-        check_threads_regression,
-        check_tracing_overhead,
         run_bench,
         write_bench,
     )
@@ -394,22 +405,27 @@ def _cmd_bench(args, out) -> int:
             c["dataset"], c["primitive"], c["gpus"],
             f"{c['variants']['serial']['median_ms']:.2f}",
             f"{c['variants']['threads']['median_ms']:.2f}",
-            f"{c['variants']['serial_noworkspace']['median_ms']:.2f}",
-            f"{c['variants']['serial_traced']['median_ms']:.2f}",
+            f"{c['variants']['processes']['median_ms']:.2f}",
+            f"{c['variants']['serial_kernels']['median_ms']:.2f}",
             f"{c['speedup_threads']:.2f}x",
+            f"{c['speedup_processes']:.2f}x",
+            f"{c['efficiency_per_worker']:.2f}",
+            f"{c['speedup_kernels']:.2f}x",
             f"{c['speedup_workspace']:.2f}x",
             f"{c['overhead_traced']:.2f}x",
         ]
         for c in result["cases"]
     ]
+    kern = result["host"]["kernels"]["backend"]
     print(
         render_table(
             ["dataset", "primitive", "GPUs", "serial ms", "threads ms",
-             "no-ws ms", "traced ms", "thr. speedup", "ws speedup",
-             "trace cost"],
+             "procs ms", "kernels ms", "thr. x", "proc x", "eff/worker",
+             "kern x", "ws x", "trace cost"],
             rows,
             title=f"enact() wall-clock "
-                  f"(host cores: {result['host']['cpu_count']})",
+                  f"(host cores: {result['host']['cpu_count']}, "
+                  f"kernels: {kern})",
         ),
         file=out,
     )
@@ -431,12 +447,18 @@ def _cmd_bench(args, out) -> int:
             print(f"baseline gate: {err}", file=sys.stderr)
             status = 1
     if args.gate:
-        for err in (check_threads_regression(result),
-                    check_tracing_overhead(result)):
-            if err:
-                print(f"bench gate: {err}", file=sys.stderr)
-                status = 1
-        if status == 0:
+        gate_failed = False
+        for name, err in result["gates"].items():
+            if err is None:
+                continue
+            if err.startswith("skipped"):
+                print(f"bench gate [{name}]: {err}", file=out)
+            else:
+                print(f"bench gate [{name}]: {err}", file=sys.stderr)
+                gate_failed = True
+        if gate_failed:
+            status = 1
+        else:
             print("bench gate: OK", file=out)
     return status
 

@@ -12,39 +12,63 @@ pluggable policy:
   debug);
 * :class:`ThreadsBackend` — run them on a persistent worker pool.  The
   NumPy kernels that dominate a superstep release the GIL, so per-GPU
-  work genuinely overlaps on a multi-core host.
+  work overlaps on a multi-core host — but anything interpreter-bound
+  stays GIL-serialized;
+* :class:`ProcessesBackend` — one persistent forked worker per virtual
+  GPU.  CSR structure and slice arrays live in shared-memory segments
+  (:mod:`repro.core.shm`), so reads are zero-copy across workers and a
+  worker's slice writes are immediately visible to the parent;
+  everything else a superstep produces ships back as a pickled
+  :class:`GpuStepEffects` plus a small sidecar (stream horizons, memory
+  accounting, fault consumption, staged tracer/sanitizer records,
+  declared per-GPU attribute mutations) that the parent replays at the
+  barrier.  No GIL: true per-core scaling of the superstep work.
 
 **Determinism contract.**  A backend only chooses *where* each superstep
-closure runs; it must return the results in GPU-index order.  The
-enactor keeps both backends bit-identical by construction: each closure
+runs; it must return the results in GPU-index order.  The enactor keeps
+every backend bit-identical by construction: each per-GPU superstep
 touches only its own GPU's state (streams, memory pool, data slice,
 workspace) and *stages* every cross-GPU effect — outgoing messages,
 metrics-record entries, interconnect traffic — in a
 :class:`GpuStepEffects`, which the enactor merges in GPU-index order at
-the barrier.  Serial and threaded runs execute the same closure and the
-same merge, so results, :class:`~repro.sim.metrics.RunMetrics`, virtual
-times, and sanitizer reports are identical bit for bit (asserted in
+the barrier.  Serial, threaded, and forked runs execute the same
+superstep code and the same merge, so results,
+:class:`~repro.sim.metrics.RunMetrics`, virtual times, and sanitizer
+reports are identical bit for bit (asserted in
 ``tests/core/test_backend_determinism.py``).
+
+**Worker affinity.**  The processes backend pins each GPU to one worker
+for the pool's lifetime, so per-GPU private mutable state (streams,
+pools, workspace arenas, operator caches) evolves in exactly one
+address space between barriers.  Workers are re-forked at the start of
+every run and after any rollback/repartition (:meth:`begin_run` /
+:meth:`invalidate`), which is also when the shared-memory manifest is
+(re)built.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from ..errors import DeviceLostError, SimulationError
+from .shm import SliceManifest, _rewrap_like
 
 __all__ = [
     "GpuStepEffects",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadsBackend",
+    "ProcessesBackend",
     "make_backend",
     "BACKENDS",
 ]
 
-BACKENDS = ("serial", "threads")
+BACKENDS = ("serial", "threads", "processes")
 
 
 @dataclass
@@ -56,7 +80,8 @@ class GpuStepEffects:
     race on shared structures.  The enactor applies these in GPU-index
     order at the barrier, reproducing exactly the mutation order of the
     serial loop — including dict key-insertion order, which JSON traces
-    observe.
+    observe.  The dataclass is picklable by design: the processes
+    backend ships it across the worker pipe verbatim.
     """
 
     gpu: int
@@ -90,12 +115,67 @@ class GpuStepEffects:
 
 
 class ExecutionBackend:
-    """Dispatch policy for one iteration's per-GPU superstep closures."""
+    """Dispatch policy for one iteration's per-GPU supersteps."""
 
     name = "base"
     #: attached obs.Tracer, or None (the common, zero-overhead case);
     #: set by the enactor, read behind a single ``is None`` check
     tracer = None
+
+    def bind(self, enactor) -> None:
+        """Called once by the owning enactor after construction."""
+
+    def begin_run(self) -> None:
+        """Called at the start of every ``enact()`` (after problem and
+        machine reset): backends with per-run worker state refresh it
+        here."""
+
+    def invalidate(self) -> None:
+        """Called after rollback/repartition: any cached view of the
+        problem's arrays (worker forks, shared-memory manifests) is
+        stale and must be rebuilt before the next dispatch."""
+
+    def run_iteration(
+        self,
+        enactor,
+        iteration: int,
+        iteration_obj,
+        frontiers: List[np.ndarray],
+        inboxes: List[list],
+        gpu_indices: Sequence[int],
+        guarded: bool = False,
+    ) -> List[object]:
+        """Run one iteration's supersteps for ``gpu_indices``; return
+        their :class:`GpuStepEffects` in that order.
+
+        With ``guarded=True`` a :class:`DeviceLostError` is returned as
+        the GPU's result value instead of raised, so every superstep of
+        the iteration still runs (the enactor recovers at the barrier).
+        The default implementation builds per-GPU closures and defers to
+        :meth:`map_supersteps` — serial and threads semantics live
+        entirely there; the processes backend overrides this with a
+        picklable dispatch protocol.
+        """
+        if not guarded:
+            fns = [
+                lambda idx=i: enactor._gpu_superstep(
+                    idx, iteration, iteration_obj,
+                    frontiers[idx], inboxes[idx],
+                )
+                for i in gpu_indices
+            ]
+        else:
+            def guarded_step(idx):
+                try:
+                    return enactor._gpu_superstep(
+                        idx, iteration, iteration_obj,
+                        frontiers[idx], inboxes[idx],
+                    )
+                except DeviceLostError as exc:
+                    return exc
+
+            fns = [lambda idx=i: guarded_step(idx) for i in gpu_indices]
+        return self.map_supersteps(fns)
 
     def map_supersteps(self, fns: List[Callable[[], GpuStepEffects]]
                        ) -> List[GpuStepEffects]:
@@ -160,11 +240,299 @@ class ThreadsBackend(ExecutionBackend):
             self._pool = None
 
 
+# ---------------------------------------------------------------------------
+# processes backend
+# ---------------------------------------------------------------------------
+
+def _worker_loop(conn, enactor, iteration_obj, gpu_ids, manifest):
+    """Body of one forked worker: serve superstep requests until "stop".
+
+    The worker owns ``gpu_ids`` for the pool's lifetime (GPU affinity:
+    per-GPU mutable state — streams, pools, workspace arenas, operator
+    caches — evolves only here between barriers).  Slice arrays are
+    re-attached through the shared-memory registry by *name*, proving
+    the manifest layer; CSR segments are reached through the inherited
+    fork mappings, which alias the same physical pages.
+    """
+    problem = enactor.problem
+    for gpu, name, arr in manifest.attach_slices():
+        old = problem.data_slices[gpu].arrays.get(name)
+        if old is not None and old.shape == arr.shape:
+            problem.data_slices[gpu].arrays[name] = _rewrap_like(old, arr)
+    machine = enactor.machine
+    tracer = enactor.tracer
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg[0] == "stop":
+            break
+        _, iteration, jobs, attrs, stream_times, guarded = msg
+        if attrs:
+            problem.restore_attrs(attrs)
+        replies = []
+        error = None
+        for gpu_index, frontier, inbox in jobs:
+            gpu = machine.gpus[gpu_index]
+            for sname, t in stream_times[gpu_index].items():
+                gpu.streams[sname].available_at = t
+            inj = machine.faults
+            fault_snap = (
+                inj.snapshot_consumption() if inj is not None else None
+            )
+            try:
+                eff = enactor._gpu_superstep(
+                    gpu_index, iteration, iteration_obj, frontier, inbox
+                )
+            except DeviceLostError as exc:
+                if not guarded:
+                    error = (gpu_index, exc)
+                    break
+                eff = exc
+            except BaseException as exc:  # ships to the parent to re-raise
+                error = (gpu_index, exc)
+                break
+            replies.append(
+                _build_sidecar(enactor, gpu_index, eff, fault_snap)
+            )
+        if error is not None:
+            gpu_index, exc = error
+            try:
+                conn.send(("error", gpu_index, exc))
+            except Exception as send_err:  # unpicklable exception
+                conn.send(("error", gpu_index, SimulationError(
+                    f"{type(exc).__name__}: {exc} "
+                    f"(original not picklable: {send_err})",
+                    gpu_id=gpu_index,
+                )))
+        else:
+            conn.send(("ok", replies))
+    manifest.detach()
+    conn.close()
+
+
+def _build_sidecar(enactor, gpu_index, eff, fault_snap) -> dict:
+    """Everything beyond slice-array writes that a worker's superstep
+    changed and the parent must replay: stream horizons, pool
+    accounting, frontier capacities, fault consumption, staged
+    tracer/sanitizer records, and declared per-GPU attribute
+    mutations (``ProblemBase.PER_GPU_MUTABLE_ATTRS``)."""
+    machine = enactor.machine
+    gpu = machine.gpus[gpu_index]
+    tracer = enactor.tracer
+    problem = enactor.problem
+    return {
+        "gpu": gpu_index,
+        "eff": eff,
+        "streams": {n: s.available_at for n, s in gpu.streams.items()},
+        "pool": gpu.memory.export_state(),
+        "fin": (enactor.frontiers_in[gpu_index].capacity,
+                enactor.frontiers_in[gpu_index].grow_events),
+        "fout": (enactor.frontiers_out[gpu_index].capacity,
+                 enactor.frontiers_out[gpu_index].grow_events),
+        "faults": (
+            machine.faults.consumption_delta(fault_snap)
+            if fault_snap is not None else None
+        ),
+        "trace": (
+            tracer.take_staged(gpu_index) if tracer is not None else None
+        ),
+        "san": (
+            enactor.sanitizer.take_stage(gpu_index)
+            if enactor.sanitizer is not None else None
+        ),
+        "attrs": {
+            name: getattr(problem, name)[gpu_index]
+            for name in type(problem).PER_GPU_MUTABLE_ATTRS
+        },
+    }
+
+
+class ProcessesBackend(ExecutionBackend):
+    """Forked worker pool with shared-memory slices (see module docs).
+
+    ``max_workers`` caps the pool; by default there is one worker per
+    virtual GPU.  With fewer workers than GPUs, each worker owns a fixed
+    subset (``gpu % workers``) and runs its supersteps in GPU order, so
+    affinity — and therefore determinism — is preserved.
+
+    Single-GPU dispatch short-circuits to inline execution: there is
+    nothing to overlap, and the parent's state stays authoritative
+    without any shared-memory machinery.
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers
+        self._workers: Optional[List[tuple]] = None
+        self._owner: Dict[int, int] = {}
+        self._manifest: Optional[SliceManifest] = None
+
+    # -- lifecycle -------------------------------------------------------
+    def begin_run(self) -> None:
+        # per-run state (iteration object, reset streams/faults) is
+        # captured at fork time, so each enact() gets a fresh pool; the
+        # manifest survives — reset() refills the same shm arrays
+        self._teardown_workers()
+
+    def invalidate(self) -> None:
+        # rollback/repartition rebuilt the slice arrays: both the forks
+        # and the shm segments describe dead objects
+        self._teardown_workers()
+        if self._manifest is not None:
+            self._manifest.release()
+            self._manifest = None
+
+    def close(self) -> None:
+        self.invalidate()
+
+    def _teardown_workers(self) -> None:
+        if not self._workers:
+            self._workers = None
+            return
+        for proc, conn in self._workers:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc, conn in self._workers:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=10)
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._workers = None
+        self._owner = {}
+
+    def _spawn(self, enactor, iteration_obj, gpu_indices) -> None:
+        if self._manifest is None:
+            self._manifest = SliceManifest()
+            self._manifest.migrate(enactor.problem)
+        n = len(gpu_indices)
+        width = max(1, min(self.max_workers or n, n))
+        buckets: List[List[int]] = [[] for _ in range(width)]
+        self._owner = {}
+        for k, g in enumerate(gpu_indices):
+            buckets[k % width].append(g)
+            self._owner[g] = k % width
+        ctx = multiprocessing.get_context("fork")
+        self._workers = []
+        for w in range(width):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_loop,
+                args=(child_conn, enactor, iteration_obj,
+                      buckets[w], self._manifest),
+                daemon=True,
+                name=f"repro-gpu-proc-{w}",
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append((proc, parent_conn))
+
+    # -- dispatch --------------------------------------------------------
+    def run_iteration(self, enactor, iteration, iteration_obj,
+                      frontiers, inboxes, gpu_indices, guarded=False):
+        gpu_indices = list(gpu_indices)
+        if len(gpu_indices) <= 1:
+            # nothing to overlap; the inline path keeps parent state
+            # authoritative and needs no pool or shared memory
+            return super().run_iteration(
+                enactor, iteration, iteration_obj,
+                frontiers, inboxes, gpu_indices, guarded=guarded,
+            )
+        if self._workers is None or any(
+            g not in self._owner for g in gpu_indices
+        ):
+            self._teardown_workers()
+            self._spawn(enactor, iteration_obj, gpu_indices)
+        machine = enactor.machine
+        jobs: List[List[tuple]] = [[] for _ in self._workers]
+        stream_times = {
+            g: {
+                n: s.available_at
+                for n, s in machine.gpus[g].streams.items()
+            }
+            for g in gpu_indices
+        }
+        for g in gpu_indices:
+            jobs[self._owner[g]].append((g, frontiers[g], inboxes[g]))
+        attrs = enactor.problem.snapshot_attrs()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "backend.dispatch", backend=self.name,
+                supersteps=len(gpu_indices), workers=len(self._workers),
+            )
+        for w, (proc, conn) in enumerate(self._workers):
+            if jobs[w]:
+                conn.send((
+                    "step", iteration, jobs[w], attrs,
+                    {g: stream_times[g] for g, _f, _i in jobs[w]},
+                    guarded,
+                ))
+        replies: Dict[int, dict] = {}
+        for w, (proc, conn) in enumerate(self._workers):
+            if not jobs[w]:
+                continue
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                self._teardown_workers()
+                raise SimulationError(
+                    f"processes backend: worker {w} died mid-superstep",
+                    iteration=iteration, site="backend.processes",
+                )
+            if msg[0] == "error":
+                _, g, exc = msg
+                self._teardown_workers()
+                if isinstance(exc, BaseException):
+                    raise exc
+                raise SimulationError(str(exc), gpu_id=g)
+            for side in msg[1]:
+                replies[side["gpu"]] = side
+        results = []
+        for g in gpu_indices:
+            side = replies[g]
+            self._apply_sidecar(enactor, g, side)
+            results.append(side["eff"])
+        return results
+
+    def _apply_sidecar(self, enactor, g, side) -> None:
+        machine = enactor.machine
+        gpu = machine.gpus[g]
+        for sname, t in side["streams"].items():
+            gpu.streams[sname].available_at = t
+        gpu.memory.apply_state(side["pool"])
+        fin, fout = enactor.frontiers_in[g], enactor.frontiers_out[g]
+        fin.capacity, fin.grow_events = side["fin"]
+        fout.capacity, fout.grow_events = side["fout"]
+        if side["faults"] is not None and machine.faults is not None:
+            machine.faults.apply_consumption_delta(side["faults"])
+        if self.tracer is not None and side["trace"] is not None:
+            self.tracer.adopt_staged(g, side["trace"])
+        if side["san"] is not None and enactor.sanitizer is not None:
+            enactor.sanitizer.adopt_stage(g, side["san"])
+        for name, value in side["attrs"].items():
+            getattr(enactor.problem, name)[g] = value
+
+    def map_supersteps(self, fns):
+        # arbitrary closures cannot cross a process boundary; the
+        # structured path is run_iteration().  Plain callables (tests,
+        # ad-hoc use) run inline, preserving list order.
+        return [fn() for fn in fns]
+
+
 def make_backend(
     spec: Union[str, ExecutionBackend, None], num_gpus: int = 0
 ) -> ExecutionBackend:
-    """Resolve a backend spec: an instance, ``"serial"``, ``"threads"``,
-    or ``"threads:N"`` (explicit worker count)."""
+    """Resolve a backend spec: an instance, ``"serial"``, ``"threads"``
+    / ``"threads:N"``, or ``"processes"`` / ``"processes:N"`` (explicit
+    worker count)."""
     if spec is None:
         return SerialBackend()
     if isinstance(spec, ExecutionBackend):
@@ -175,6 +543,9 @@ def make_backend(
     if name == "threads":
         workers = int(arg) if arg else (num_gpus or None)
         return ThreadsBackend(max_workers=workers)
+    if name == "processes":
+        workers = int(arg) if arg else (num_gpus or None)
+        return ProcessesBackend(max_workers=workers)
     raise ValueError(
         f"unknown execution backend {spec!r}; expected one of {BACKENDS}"
     )

@@ -195,6 +195,7 @@ class Enactor:
         if relaxed_barriers:
             self._certify_combiners()
         self._setup_buffers()
+        self.backend.bind(self)
 
     def _certify_combiners(self) -> None:
         """Relaxed-barrier precondition: every combiner guarding a live
@@ -753,6 +754,9 @@ class Enactor:
                 restore_seconds=now - t0,
             )
         frontiers = [np.asarray(f, dtype=np.int64) for f in frontiers]
+        # repartition rebuilt the slice arrays: worker forks and any
+        # shared-memory manifest now describe dead objects
+        self.backend.invalidate()
         return ckpt.iteration + 1, frontiers, inboxes
 
     # ------------------------------------------------------------------
@@ -774,6 +778,7 @@ class Enactor:
             )
         init_frontiers = problem.reset(**reset_kwargs)
         machine.reset()
+        self.backend.begin_run()
         tracer = self.tracer
         if tracer is not None:
             tracer.begin_run(problem.name, n, self.backend.name)
@@ -813,32 +818,19 @@ class Enactor:
             next_inboxes: List[List[tuple]] = [[] for _ in range(n)]
 
             if machine.faults is None:
-                step_fns = [
-                    (lambda idx=i, _it=iteration, _obj=iteration_obj:
-                        self._gpu_superstep(
-                            idx, _it, _obj, frontiers[idx], inboxes[idx]
-                        ))
-                    for i in range(n)
-                ]
-                results = self.backend.map_supersteps(step_fns)
+                results = self.backend.run_iteration(
+                    self, iteration, iteration_obj,
+                    frontiers, inboxes, range(n),
+                )
             else:
-                # every superstep runs to completion on both backends;
+                # every superstep runs to completion on every backend;
                 # device losses are returned (not raised) so one
                 # superstep's losses are collected together and handled
                 # in a single rollback
-                def guarded_step(idx, _it=iteration, _obj=iteration_obj):
-                    try:
-                        return self._gpu_superstep(
-                            idx, _it, _obj, frontiers[idx], inboxes[idx]
-                        )
-                    except DeviceLostError as exc:
-                        return exc
-
-                step_fns = [
-                    (lambda idx=i: guarded_step(idx))
-                    for i in machine.alive_gpus
-                ]
-                results = self.backend.map_supersteps(step_fns)
+                results = self.backend.run_iteration(
+                    self, iteration, iteration_obj,
+                    frontiers, inboxes, machine.alive_gpus, guarded=True,
+                )
                 machine.faults.end_iteration()
                 losses = [
                     r for r in results if isinstance(r, DeviceLostError)
@@ -959,3 +951,19 @@ class Enactor:
         """Free the enactor's device buffers (frontiers, comm staging)."""
         self.backend.close()
         self._release_buffers()
+
+    def close(self) -> None:
+        """Tear down the execution backend (worker pools, shared-memory
+        segments) and free device buffers.  Idempotent; after closing,
+        results remain readable via ``problem.extract()`` but further
+        ``enact()`` calls need a new enactor."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        self.release()
+
+    def __enter__(self) -> "Enactor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -33,12 +33,61 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ...graph.csr import CsrGraph
+from ..kernels import active as _kernels_active, plain_arrays as _plain
 from ..stats import OpStats
 from ..workspace import Workspace
 
 __all__ = ["gather_neighbors", "advance_push", "advance_pull"]
 
 _BIG = np.iinfo(np.int64).max
+
+
+def _push_stats(nf: int, edges: int, ids_bytes: int, size_bytes: int) -> OpStats:
+    """The push-advance cost model, shared by the interpreted and
+    compiled paths (and by the fused operator) so stats stay
+    bit-identical no matter which computed the arrays."""
+    return OpStats(
+        name="advance",
+        input_size=nf,
+        output_size=edges,
+        edges_visited=edges,
+        vertices_processed=nf,
+        launches=1,
+        streaming_bytes=(nf + edges) * ids_bytes,
+        random_bytes=2 * nf * size_bytes
+        + edges * (ids_bytes + 0.75 * size_bytes),
+    )
+
+
+def _pull_stats_empty(n_candidates: int, ids_bytes: int) -> OpStats:
+    return OpStats(
+        name="advance-pull",
+        input_size=n_candidates,
+        vertices_processed=n_candidates,
+        launches=1,
+        streaming_bytes=n_candidates * ids_bytes,
+        random_bytes=2 * n_candidates * ids_bytes,
+    )
+
+
+def _pull_stats(
+    n_candidates: int,
+    n_discovered: int,
+    edges_scanned: int,
+    ids_bytes: int,
+    size_bytes: int,
+) -> OpStats:
+    return OpStats(
+        name="advance-pull",
+        input_size=n_candidates,
+        output_size=n_discovered,
+        edges_visited=edges_scanned,
+        vertices_processed=n_candidates,
+        launches=1,
+        streaming_bytes=(n_candidates + n_discovered) * ids_bytes,
+        random_bytes=2 * n_candidates * size_bytes
+        + edges_scanned * (ids_bytes + 0.75 * size_bytes + 1),
+    )
 
 
 def _frontier64(frontier: np.ndarray) -> np.ndarray:
@@ -64,6 +113,9 @@ def gather_neighbors(
     consume them within the operator call chain.
     """
     frontier = _frontier64(frontier)
+    kernels = _kernels_active()
+    if kernels is not None and _plain(frontier):
+        return kernels.gather(csr.offsets64, csr.cols64, frontier)
     offsets = csr.offsets64
     starts = offsets[frontier]
     counts = offsets[frontier + 1] - starts
@@ -110,18 +162,7 @@ def advance_push(
     neighbors, sources, edge_idx = gather_neighbors(csr, frontier, ws=ws)
     edges = int(neighbors.size)
     nf = int(np.asarray(frontier).size)
-    size_bytes = csr.ids.size_bytes
-    stats = OpStats(
-        name="advance",
-        input_size=nf,
-        output_size=edges,
-        edges_visited=edges,
-        vertices_processed=nf,
-        launches=1,
-        streaming_bytes=(nf + edges) * ids_bytes,
-        random_bytes=2 * nf * size_bytes
-        + edges * (ids_bytes + 0.75 * size_bytes),
-    )
+    stats = _push_stats(nf, edges, ids_bytes, csr.ids.size_bytes)
     if tracer is not None:
         tracer.op_wall_sample("advance", tracer.wall() - _wall0)
     return neighbors, sources, edge_idx, stats
@@ -161,6 +202,21 @@ def advance_pull(
     """
     _wall0 = tracer.wall() if tracer is not None else 0.0
     candidates = _frontier64(candidates)
+    kernels = _kernels_active()
+    if kernels is not None and _plain(candidates, in_frontier):
+        discovered, parents, edges_scanned, total = kernels.pull(
+            csr.offsets64, csr.cols64, candidates, in_frontier
+        )
+        if total == 0:
+            stats = _pull_stats_empty(int(candidates.size), ids_bytes)
+        else:
+            stats = _pull_stats(
+                int(candidates.size), int(discovered.size),
+                int(edges_scanned), ids_bytes, csr.ids.size_bytes,
+            )
+        if tracer is not None:
+            tracer.op_wall_sample("advance-pull", tracer.wall() - _wall0)
+        return discovered, parents, stats
     offsets = csr.offsets64
     starts = offsets[candidates]
     counts = offsets[candidates + 1] - starts
@@ -171,14 +227,7 @@ def advance_pull(
     total = int(counts_nz.sum())
     if total == 0:
         empty = np.empty(0, dtype=np.int64)
-        stats = OpStats(
-            name="advance-pull",
-            input_size=int(candidates.size),
-            vertices_processed=int(candidates.size),
-            launches=1,
-            streaming_bytes=candidates.size * ids_bytes,
-            random_bytes=2 * candidates.size * ids_bytes,
-        )
+        stats = _pull_stats_empty(int(candidates.size), ids_bytes)
         if tracer is not None:
             tracer.op_wall_sample("advance-pull", tracer.wall() - _wall0)
         return empty, empty.copy(), stats
@@ -216,16 +265,9 @@ def advance_pull(
     # edges scanned: first_hit+1 where found, full degree otherwise
     scanned = np.where(found, first_hit + 1, counts_nz)
     edges_scanned = int(scanned.sum())
-    stats = OpStats(
-        name="advance-pull",
-        input_size=int(candidates.size),
-        output_size=int(discovered.size),
-        edges_visited=edges_scanned,
-        vertices_processed=int(candidates.size),
-        launches=1,
-        streaming_bytes=(candidates.size + discovered.size) * ids_bytes,
-        random_bytes=2 * candidates.size * csr.ids.size_bytes
-        + edges_scanned * (ids_bytes + 0.75 * csr.ids.size_bytes + 1),
+    stats = _pull_stats(
+        int(candidates.size), int(discovered.size), edges_scanned,
+        ids_bytes, csr.ids.size_bytes,
     )
     if tracer is not None:
         tracer.op_wall_sample("advance-pull", tracer.wall() - _wall0)

@@ -108,6 +108,15 @@ class ProblemBase:
     #: checkpoint must capture — e.g. BC's phase machine, PR's per-GPU
     #: convergence deltas (see docs/robustness.md)
     CHECKPOINT_ATTRS: tuple = ()
+    #: names of per-GPU *sequences* (list or 1-D array indexed by GPU)
+    #: whose entries hooks mutate **inside a superstep** — e.g. PR's
+    #: ``max_delta[gpu]``, DOBFS's ``directions[gpu]``.  The processes
+    #: backend ships entry ``[gpu]`` back from the worker that ran that
+    #: GPU and replays it parent-side at the barrier; entries must be
+    #: picklable.  Parent-side mutations (``should_stop``) need no
+    #: declaration — workers receive them via the per-superstep
+    #: :attr:`CHECKPOINT_ATTRS` snapshot instead.
+    PER_GPU_MUTABLE_ATTRS: tuple = ()
 
     def __init__(
         self,

@@ -1,0 +1,309 @@
+"""Shared-memory slice manifest for the ``processes`` backend.
+
+The processes backend forks one persistent worker per virtual GPU.  Fork
+gives workers copy-on-write *reads* of the whole problem for free, but a
+worker's superstep also **writes** its GPU's slice arrays (labels,
+ranks, bitmaps, ...), and those writes must land where the parent — and
+the next run's workers — can see them.  :class:`SliceManifest` migrates
+every :class:`~repro.core.problem.DataSlice` array and every subgraph's
+CSR structure (the int64 ``offsets64``/``cols64`` views the operators
+traverse, plus the raw arrays and edge values) into named
+``multiprocessing.shared_memory`` segments *before* the fork:
+
+* reads are zero-copy in every process (one physical mapping of the CSR
+  per host, no matter how many workers);
+* slice-array writes made inside a worker are immediately visible to
+  the parent at the barrier — no array shipping;
+* each segment is listed in a picklable registry (:meth:`spec`), so a
+  worker can re-attach any slice array *by name*
+  (:meth:`attach_slices`) instead of relying on inherited mappings —
+  the layer a ``spawn``-style backend would need, and what the
+  round-trip unit test exercises.
+
+Sanitizer interop: migration preserves ``ShadowArray`` wrappers by
+re-wrapping the shm-backed replacement with the original's sanitizer
+attribution (duck-typed through ``type(arr).wrap`` — no import cycle).
+
+Lifecycle: segments are created by :meth:`migrate`; :meth:`release`
+copies live bindings back to ordinary heap arrays (so the problem
+remains usable after the backend is closed), closes what can be closed,
+and **unlinks every segment** — the backend-test leak check asserts
+``/dev/shm`` holds nothing of ours afterwards.  An ``atexit`` hook
+unlinks anything a crashed run left behind.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import weakref
+from multiprocessing import shared_memory
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SliceManifest", "SHM_PREFIX"]
+
+#: every segment name starts with this (plus the owning pid), so leak
+#: checks and the atexit sweeper can identify ours
+SHM_PREFIX = "repro-shm"
+
+
+def _open_untracked(**kwargs) -> shared_memory.SharedMemory:
+    """Open a segment without registering it with the resource_tracker.
+
+    The stdlib tracker (pre-3.13) registers on *attach* too, and unlinks
+    everything registered when any registering process exits — for fork
+    workers that attach by name, that would destroy the parent's live
+    segments at the first pool teardown.  Unregistering afterwards is
+    also wrong: several workers' register/unregister messages interleave
+    on the tracker pipe and double-removals raise in the tracker
+    process.  So registration is suppressed at the source; the manifest
+    owns the unlink.
+    """
+    from multiprocessing import resource_tracker
+
+    orig = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(**kwargs)
+    finally:
+        resource_tracker.register = orig
+
+
+def _unlink_untracked(seg) -> None:
+    """``SharedMemory.unlink`` counterpart of :func:`_open_untracked`:
+    it sends an ``unregister`` for the (never registered) name, which
+    the tracker process reports as an error — suppress that too."""
+    from multiprocessing import resource_tracker
+
+    orig = resource_tracker.unregister
+    resource_tracker.unregister = lambda *a, **k: None
+    try:
+        seg.unlink()
+    finally:
+        resource_tracker.unregister = orig
+
+
+def _rewrap_like(original: np.ndarray, replacement: np.ndarray) -> np.ndarray:
+    """Preserve a ShadowArray wrapper (sanitizer attribution) across
+    migration; plain arrays pass through."""
+    san = getattr(original, "_san", None)
+    if san is not None:
+        return type(original).wrap(
+            replacement, san, original._owner, original._name
+        )
+    return replacement
+
+
+_LIVE_MANIFESTS: "weakref.WeakSet[SliceManifest]" = weakref.WeakSet()
+_ATEXIT_ARMED = False
+
+
+def _sweep_at_exit() -> None:  # pragma: no cover - exit-time safety net
+    for manifest in list(_LIVE_MANIFESTS):
+        try:
+            manifest.unlink()
+        except (OSError, ValueError):
+            pass
+
+
+class SliceManifest:
+    """Registry of shared-memory segments backing one problem's arrays."""
+
+    def __init__(self):
+        self._segments: Dict[tuple, shared_memory.SharedMemory] = {}
+        #: key -> (segment name, shape, dtype string, writeable)
+        self._specs: Dict[tuple, Tuple[str, tuple, str, bool]] = {}
+        #: attach-side handles, kept alive so their buffers stay mapped
+        self._attached: List[shared_memory.SharedMemory] = []
+        #: (container dict, key-in-container, manifest key) bindings so
+        #: release() can put heap arrays back where shm arrays live now
+        self._slice_bindings: List[Tuple[dict, str, tuple]] = []
+        self._csr_bindings: List[Tuple[object, str, tuple]] = []
+        self._unlinked = False
+        #: only the creating process may unlink — forked workers hold a
+        #: copy of this object and must never destroy the parent's
+        #: segments on their way out
+        self._owner_pid = os.getpid()
+        global _ATEXIT_ARMED
+        _LIVE_MANIFESTS.add(self)
+        if not _ATEXIT_ARMED:
+            atexit.register(_sweep_at_exit)
+            _ATEXIT_ARMED = True
+
+    # -- creation --------------------------------------------------------
+    def _new_segment(self, key: tuple, arr: np.ndarray) -> np.ndarray:
+        name = (
+            f"{SHM_PREFIX}-{os.getpid()}-{len(self._segments)}-"
+            f"{secrets.token_hex(4)}"
+        )
+        seg = _open_untracked(
+            create=True, size=max(1, arr.nbytes), name=name
+        )
+        new = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        new[...] = arr
+        writeable = arr.flags.writeable
+        if not writeable:
+            new.setflags(write=False)
+        self._segments[key] = seg
+        self._specs[key] = (seg.name, arr.shape, arr.dtype.str, writeable)
+        return new
+
+    def migrate(self, problem) -> None:
+        """Move the problem's slice arrays and CSR structure into shm.
+
+        Mutates the problem in place: every ``DataSlice`` entry and every
+        subgraph CSR field is rebound to a shm-backed equivalent (shadow
+        wrappers preserved).  Idempotent per problem generation — call
+        once after construction/repartition, before forking workers.
+        """
+        for gpu, ds in enumerate(problem.data_slices):
+            for name in list(ds.arrays):
+                arr = ds.arrays[name]
+                base = arr.view(np.ndarray)
+                new = self._new_segment(("slice", gpu, name), base)
+                ds.arrays[name] = _rewrap_like(arr, new)
+                self._slice_bindings.append((ds.arrays, name, ("slice", gpu, name)))
+        migrated: Dict[int, bool] = {}
+        for sub in problem.subgraphs:
+            csr = sub.csr
+            if csr is None or id(csr) in migrated:
+                continue  # DUPLICATE_ALL shares one CsrGraph instance
+            migrated[id(csr)] = True
+            tag = len(migrated) - 1
+            self._migrate_csr(csr, tag)
+
+    def _migrate_csr(self, csr, tag: int) -> None:
+        # force-build the int64 hot views first so aliasing is explicit
+        off64, cols64 = csr.offsets64, csr.cols64
+        new_off = self._new_segment(("csr", tag, "offsets64"), off64)
+        new_cols = self._new_segment(("csr", tag, "cols64"), cols64)
+        for attr, old, new, key in (
+            ("_offsets64", off64, new_off, ("csr", tag, "offsets64")),
+            ("_cols64", cols64, new_cols, ("csr", tag, "cols64")),
+        ):
+            setattr(csr, attr, new)
+            self._csr_bindings.append((csr, attr, key))
+        # the raw arrays alias the views at int64 width; otherwise they
+        # get their own segments so *all* graph bytes are shared
+        if csr.row_offsets is off64:
+            csr.row_offsets = new_off
+            self._csr_bindings.append((csr, "row_offsets", ("csr", tag, "offsets64")))
+        else:
+            csr.row_offsets = self._new_segment(
+                ("csr", tag, "row_offsets"), csr.row_offsets
+            )
+            self._csr_bindings.append((csr, "row_offsets", ("csr", tag, "row_offsets")))
+        if csr.col_indices is cols64:
+            csr.col_indices = new_cols
+            self._csr_bindings.append((csr, "col_indices", ("csr", tag, "cols64")))
+        else:
+            csr.col_indices = self._new_segment(
+                ("csr", tag, "col_indices"), csr.col_indices
+            )
+            self._csr_bindings.append((csr, "col_indices", ("csr", tag, "col_indices")))
+        if csr.values is not None:
+            csr.values = self._new_segment(("csr", tag, "values"), csr.values)
+            self._csr_bindings.append((csr, "values", ("csr", tag, "values")))
+
+    # -- registry / attach ----------------------------------------------
+    def spec(self) -> Dict[tuple, Tuple[str, tuple, str, bool]]:
+        """Picklable registry: manifest key -> (name, shape, dtype, rw)."""
+        return dict(self._specs)
+
+    def segment_names(self) -> List[str]:
+        return [seg.name for seg in self._segments.values()]
+
+    def attach(self, key: tuple) -> np.ndarray:
+        """Open the named segment for ``key`` and map its array.
+
+        The handle is kept on the manifest so the buffer stays mapped;
+        call from a worker (or the round-trip test) to get a live view
+        of the parent's array by name alone.
+        """
+        name, shape, dtype, writeable = self._specs[key]
+        seg = _open_untracked(name=name)
+        self._attached.append(seg)
+        arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+        if not writeable:
+            arr.setflags(write=False)
+        return arr
+
+    def attach_slices(self) -> Iterator[Tuple[int, str, np.ndarray]]:
+        """Attach every slice-array segment by name: yields
+        ``(gpu, array_name, shm_array)``."""
+        for key in self._specs:
+            if key[0] == "slice":
+                yield key[1], key[2], self.attach(key)
+
+    def detach(self) -> None:
+        """Close attach-side handles (worker teardown)."""
+        for seg in self._attached:
+            try:
+                seg.close()
+            except (OSError, BufferError):
+                pass
+        self._attached = []
+
+    # -- teardown --------------------------------------------------------
+    def release(self) -> None:
+        """Rebind live arrays to heap copies, then destroy all segments.
+
+        After this the problem is fully usable (``extract`` etc. read
+        the heap copies) and ``/dev/shm`` holds none of our segments.
+        """
+        for container, name, key in self._slice_bindings:
+            arr = container.get(name)
+            if arr is None:
+                continue
+            base = arr.view(np.ndarray)
+            container[name] = _rewrap_like(arr, base.copy())
+        for obj, attr, key in self._csr_bindings:
+            arr = getattr(obj, attr, None)
+            if arr is None:
+                continue
+            heap = arr.copy()
+            if not arr.flags.writeable:
+                heap.setflags(write=False)
+            setattr(obj, attr, heap)
+        self._slice_bindings = []
+        self._csr_bindings = []
+        self.detach()
+        self.unlink()
+
+    def unlink(self) -> None:
+        """Destroy every segment (idempotent).  Mappings still held by
+        live arrays stay valid until those processes drop them; the
+        *names* disappear from ``/dev/shm`` immediately."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        if os.getpid() != self._owner_pid:  # pragma: no cover - fork copy
+            return
+        for seg in self._segments.values():
+            try:
+                _unlink_untracked(seg)
+            except FileNotFoundError:
+                pass
+            try:
+                seg.close()
+            except BufferError:
+                # an array still references the buffer; the mapping dies
+                # with the process, the name is already gone
+                pass
+        self._segments = {}
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        # backstop for enactors that are dropped without close(): the
+        # segments must not outlive the manifest (live arrays keep their
+        # mappings; only the /dev/shm names disappear)
+        try:
+            self.unlink()
+        except (OSError, ValueError, AttributeError, TypeError):
+            # interpreter shutdown may have torn down module globals
+            pass

@@ -27,6 +27,15 @@ __all__ = [
 ]
 
 
+def _rebuild_error(cls, args, gpu_id, iteration, site):
+    """Unpickle helper: reconstruct a :class:`ReproError` with context."""
+    exc = cls(*args)
+    exc.gpu_id = gpu_id
+    exc.iteration = iteration
+    exc.site = site
+    return exc
+
+
 class ReproError(Exception):
     """Base class for all library errors.
 
@@ -55,6 +64,14 @@ class ReproError(Exception):
         self.gpu_id = gpu_id
         self.iteration = iteration
         self.site = site
+
+    def __reduce__(self):
+        # default Exception pickling replays only positional args, which
+        # would drop the keyword-only context; the processes execution
+        # backend ships these across worker pipes, so preserve it
+        return (_rebuild_error, (
+            type(self), self.args, self.gpu_id, self.iteration, self.site,
+        ))
 
     @property
     def context(self) -> Dict[str, Union[int, str]]:

@@ -234,6 +234,19 @@ class Tracer:
                 else:
                     self._merge_wall(entry[1], entry[2])
 
+    def take_staged(self, gpu: int) -> List[tuple]:
+        """Pop one GPU's staged records (processes-backend worker side:
+        the staged entries ship to the parent in the sidecar)."""
+        with self._lock:
+            return self._staging.pop(int(gpu), [])
+
+    def adopt_staged(self, gpu: int, entries: List[tuple]) -> None:
+        """Stage records produced by a worker process for this GPU, to be
+        merged (or dropped, on rollback) exactly like locally staged
+        ones."""
+        with self._lock:
+            self._staging.setdefault(int(gpu), []).extend(entries)
+
     def drop_staged(self) -> None:
         """Discard staged records of an aborted superstep (rollback)."""
         with self._lock:

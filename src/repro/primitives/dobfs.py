@@ -56,6 +56,9 @@ class DOBFSProblem(ProblemBase):
     # the per-GPU direction machines mutate every iteration and decide
     # coverage; a rollback must rewind them with the rest of the state
     CHECKPOINT_ATTRS = ("directions",)
+    # _decide_direction mutates this GPU's DirectionState inside the
+    # superstep, so forked workers must ship it back
+    PER_GPU_MUTABLE_ATTRS = ("directions",)
 
     def __init__(self, *args, do_a: float = 0.01, do_b: float = 0.1,
                  mark_predecessors: bool = False, **kwargs):

@@ -47,6 +47,9 @@ class PRProblem(ProblemBase):
     # per-GPU convergence deltas live outside the data slices; a rollback
     # must restore them or should_stop() reads post-fault values
     CHECKPOINT_ATTRS = ("max_delta",)
+    # hooks write max_delta[gpu] inside the superstep (should_stop reads
+    # the max parent-side), so forked workers must ship it back
+    PER_GPU_MUTABLE_ATTRS = ("max_delta",)
 
     def __init__(
         self,

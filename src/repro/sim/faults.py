@@ -337,6 +337,71 @@ class FaultInjector:
                         site=f"memory.alloc[{name}]",
                     )
 
+    # -- cross-process consumption sync ---------------------------------
+    # Each fault spec targets exactly one GPU, and under the processes
+    # backend that GPU's worker holds its own forked injector copy — so a
+    # spec is only ever consumed in one address space.  The worker
+    # snapshots consumption before the superstep, diffs after, and the
+    # parent replays the delta; specs are identified by their position in
+    # ``plan.faults`` (stable across fork, robust to equal duplicates).
+
+    def snapshot_consumption(self) -> dict:
+        """Picklable snapshot of which faults remain armed."""
+        with self._lock:
+            pos = {id(s): i for i, s in enumerate(self.plan.faults)}
+            return {
+                "injected": dict(self.injected),
+                "comm": {pos[id(s)]: rem for s, rem in self._comm},
+                "oom": [pos[id(s)] for s in self._oom],
+                "loss": [pos[id(s)] for s in self._loss],
+            }
+
+    def consumption_delta(self, before: dict) -> Optional[dict]:
+        """What fired since ``before`` (a :meth:`snapshot_consumption`);
+        None when nothing did."""
+        after = self.snapshot_consumption()
+        injected = {
+            k: v - before["injected"].get(k, 0)
+            for k, v in after["injected"].items()
+            if v != before["injected"].get(k, 0)
+        }
+        comm_decremented = {
+            p: rem for p, rem in after["comm"].items()
+            if before["comm"].get(p) != rem
+        }
+        comm_exhausted = [p for p in before["comm"] if p not in after["comm"]]
+        oom_fired = [p for p in before["oom"] if p not in after["oom"]]
+        loss_fired = [p for p in before["loss"] if p not in after["loss"]]
+        if not (injected or comm_decremented or comm_exhausted
+                or oom_fired or loss_fired):
+            return None
+        return {
+            "injected": injected,
+            "comm_decremented": comm_decremented,
+            "comm_exhausted": comm_exhausted,
+            "oom_fired": oom_fired,
+            "loss_fired": loss_fired,
+        }
+
+    def apply_consumption_delta(self, delta: dict) -> None:
+        """Replay a worker's :meth:`consumption_delta` on this injector."""
+        with self._lock:
+            for kind, fired in delta["injected"].items():
+                self.injected[kind] = self.injected.get(kind, 0) + fired
+            spec_at = self.plan.faults
+            for p, rem in delta["comm_decremented"].items():
+                for cell in self._comm:
+                    if cell[0] is spec_at[p]:
+                        cell[1] = rem
+            for p in delta["comm_exhausted"]:
+                self._comm = [
+                    c for c in self._comm if c[0] is not spec_at[p]
+                ]
+            for p in delta["oom_fired"]:
+                self._oom = [s for s in self._oom if s is not spec_at[p]]
+            for p in delta["loss_fired"]:
+                self._loss = [s for s in self._loss if s is not spec_at[p]]
+
     def straggler_factor(self, gpu: int, iteration: int) -> float:
         """Compute-time multiplier for ``gpu`` at ``iteration`` (1.0 = none)."""
         factor = 1.0

@@ -187,6 +187,31 @@ class MemoryPool:
     def reset_peak(self) -> None:
         self._peak = self._in_use
 
+    # -- cross-process state sync ---------------------------------------
+    def export_state(self) -> dict:
+        """Picklable snapshot of the pool's accounting.
+
+        Used by the ``processes`` backend: a worker's pool evolves in its
+        own address space during a superstep, and the parent adopts the
+        worker's accounting wholesale at the barrier (the parent never
+        touches a GPU's pool between barriers, so this is a plain
+        overwrite, not a merge)."""
+        return {
+            "allocs": {n: a.nbytes for n, a in self._allocs.items()},
+            "in_use": self._in_use,
+            "peak": self._peak,
+            "num_reallocs": self.num_reallocs,
+        }
+
+    def apply_state(self, state: dict) -> None:
+        """Adopt an :meth:`export_state` snapshot (inverse operation)."""
+        self._allocs = {
+            n: Allocation(n, nbytes) for n, nbytes in state["allocs"].items()
+        }
+        self._in_use = state["in_use"]
+        self._peak = state["peak"]
+        self.num_reallocs = state["num_reallocs"]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"MemoryPool({self.owner}, in_use={self._in_use / 2**30:.2f} GiB, "

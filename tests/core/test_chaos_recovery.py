@@ -36,6 +36,17 @@ def test_chaos_cell_serial(primitive, kind):
     assert r.ok, f"{r.name}: {r.detail}"
 
 
+@pytest.mark.parametrize("primitive", ["bfs", "pr"])
+@pytest.mark.parametrize("kind", CHAOS_KINDS)
+def test_chaos_cell_processes(primitive, kind):
+    """The forked-worker backend under faults: transient retries and OOM
+    recoveries run inside workers; a permanent GPU loss tears the pool
+    down (rollback + repartition invalidate the shm manifest) and the
+    degraded run must still match the fault-free reference."""
+    r = run_chaos_case(primitive, 2, kind, backend="processes")
+    assert r.ok, f"{r.name}: {r.detail}"
+
+
 def test_chaos_matrix_full():
     results = run_chaos_matrix()
     failed = [r for r in results if not r.ok]
