@@ -32,6 +32,12 @@ __all__ = [
 
 _BASELINE_VERSION = 1
 
+#: extra keys excluded from fingerprints: run metadata that legitimately
+#: changes without the finding itself changing (e.g. the model checker's
+#: explored-state counters shift with any POR refinement, but the
+#: REP116/117 verdict they annotate is the same finding)
+_VOLATILE_EXTRA = frozenset({"mc_states", "mc_schedules", "mc_pruned"})
+
 
 def _stable_path(path: str) -> str:
     """Repo-stable form of a finding path: posix separators, rooted at
@@ -52,6 +58,7 @@ def fingerprint(finding: Finding) -> str:
     """Stable 16-hex-char identity of one finding (line-independent)."""
     extra = "|".join(
         f"{k}={finding.extra[k]}" for k in sorted(finding.extra)
+        if k not in _VOLATILE_EXTRA
     )
     payload = "|".join([
         _stable_path(finding.path),

@@ -54,6 +54,7 @@ __all__ = [
     "certify_combiner",
     "certify_problem_combiners",
     "certify_module",
+    "declared_combiners",
     "DEEP_CERTIFY_RULES",
 ]
 
@@ -136,6 +137,27 @@ class CombinerCertificate:
             "certified_order_independent": self.certified_order_independent,
             "note": self.note,
         }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CombinerCertificate":
+        declared = d.get("declared", {})
+        evaluated = d.get("evaluated", {})
+        return cls(
+            array=d["array"],
+            op=d["op"],
+            status=d["status"],
+            declared_commutative=bool(declared.get("commutative", False)),
+            declared_idempotent=bool(declared.get("idempotent", False)),
+            idempotent=evaluated.get("idempotent"),
+            commutative=evaluated.get("commutative"),
+            associative=evaluated.get("associative"),
+            domain=tuple(d.get("domain", ())),
+            counterexamples={
+                k: tuple(v)
+                for k, v in d.get("counterexamples", {}).items()
+            },
+            note=d.get("note", ""),
+        )
 
     def describe(self) -> str:
         props = []
@@ -326,6 +348,46 @@ def _module_constants(ctx: ModuleContext) -> Dict[str, ast.AST]:
             t = stmt.targets[0]
             if isinstance(t, ast.Name):
                 out[t.id] = stmt.value
+    return out
+
+
+def declared_combiners(
+    ctx: ModuleContext,
+) -> Dict[str, Dict[str, Combiner]]:
+    """Statically resolve every problem class's ``combiners = {...}``
+    declaration to live :class:`Combiner` objects, without importing
+    the module.  Returns ``{problem class name: {array: Combiner}}``
+    (unresolvable value expressions are skipped, same as
+    :func:`certify_module`).  The model checker uses this to pair each
+    iteration class with the combiner algebra its effects fold under.
+    """
+    out: Dict[str, Dict[str, Combiner]] = {}
+    constants = _module_constants(ctx)
+    for cls in ctx.problem_classes:
+        combs: Dict[str, Combiner] = {}
+        for stmt in cls.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if not any(
+                isinstance(t, ast.Name) and t.id == "combiners"
+                for t in targets
+            ):
+                continue
+            if not isinstance(value, ast.Dict):
+                continue
+            for key, val in zip(value.keys, value.values):
+                if not (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)):
+                    continue
+                combiner = _resolve_combiner_expr(val, constants)
+                if combiner is not None:
+                    combs[key.value] = combiner
+        if combs:
+            out[cls.name] = combs
     return out
 
 

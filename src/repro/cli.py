@@ -34,6 +34,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -182,6 +183,19 @@ def _build_parser() -> argparse.ArgumentParser:
                             "interpretation of hook bodies (REP110-112), "
                             "barrier-discipline verification (REP113), "
                             "and combiner certification (REP114)")
+    check.add_argument("--mc", action="store_true",
+                       help="also run the superstep interleaving model "
+                            "checker: explore strict/relaxed barrier "
+                            "schedules of each primitive's effect "
+                            "summaries (REP116-117) and emit "
+                            "ScheduleCertificates")
+    check.add_argument("--trace-out", metavar="DIR", dest="trace_out",
+                       help="with --mc: write each counterexample as a "
+                            "replayable schedule JSON plus a Perfetto-"
+                            "loadable Chrome trace under DIR")
+    check.add_argument("--no-cache", action="store_true", dest="no_cache",
+                       help="disable the per-file result cache under "
+                            ".repro-check-cache/ for --deep/--mc")
     check.add_argument("--sarif", nargs="?", const="-", metavar="FILE",
                        help="emit SARIF 2.1.0 (to FILE, or stdout when "
                             "no file is given)")
@@ -570,14 +584,54 @@ def _cmd_check(args, out) -> int:
     deep_report = None
     try:
         findings = lint_paths(paths)
-        if args.deep:
-            from .check.deep import deep_analyze_paths
+        if args.deep or args.mc:
+            from .check.deep import DeepCheckCache, deep_analyze_paths
 
-            deep_report = deep_analyze_paths(paths)
+            cache = None if args.no_cache else DeepCheckCache()
+            deep_report = deep_analyze_paths(
+                paths, deep=args.deep, mc=args.mc, cache=cache
+            )
             findings.extend(deep_report.findings)
+            if deep_report.cache_note:
+                # stderr only: stdout must stay byte-stable for CI diffs
+                print(f"repro check: {deep_report.cache_note}",
+                      file=sys.stderr)
     except OSError as exc:
         print(f"repro check: error: {exc}", file=sys.stderr)
         return 2
+
+    if args.trace_out and deep_report is not None:
+        from .check.deep.schedules import (
+            dump_trace,
+            schedule_trace_to_tracer,
+        )
+        from .obs.chrome_trace import export_chrome_trace
+
+        try:
+            os.makedirs(args.trace_out, exist_ok=True)
+            written = 0
+            for cert in deep_report.schedule_certificates:
+                ce = cert.counterexample
+                if not ce:
+                    continue
+                stem = os.path.join(args.trace_out, cert.primitive)
+                with open(stem + ".schedule.json", "w",
+                          encoding="utf-8") as fh:
+                    fh.write(dump_trace(ce))
+                tracer = schedule_trace_to_tracer(
+                    ce["divergent"],
+                    divergent_step=ce.get("first_divergent_step"),
+                )
+                export_chrome_trace(tracer, stem + ".trace.json")
+                written += 1
+        except OSError as exc:
+            print(f"repro check: error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"repro check: wrote {written} counterexample trace"
+            f"{'s' if written != 1 else ''} to {args.trace_out}",
+            file=out,
+        )
     # stable order for CI diffs, across files and tiers
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
 
@@ -628,9 +682,15 @@ def _cmd_check(args, out) -> int:
     if args.as_json:
         doc = _json.loads(findings_to_json(findings))
         if deep_report is not None:
-            doc["certificates"] = [
-                c.to_dict() for c in deep_report.certificates
-            ]
+            if args.deep:
+                doc["certificates"] = [
+                    c.to_dict() for c in deep_report.certificates
+                ]
+            if args.mc:
+                doc["schedule_certificates"] = [
+                    c.to_dict()
+                    for c in deep_report.schedule_certificates
+                ]
             if deep_report.barrier is not None:
                 doc["barrier"] = deep_report.barrier.to_dict()
         if suppressed:
@@ -639,7 +699,11 @@ def _cmd_check(args, out) -> int:
     else:
         print(render_findings(findings), file=out)
         if deep_report is not None:
-            print(deep_report.render_certificates(), file=out)
+            if args.deep:
+                print(deep_report.render_certificates(), file=out)
+            if args.mc:
+                print(deep_report.render_schedule_certificates(),
+                      file=out)
             if deep_report.barrier is not None:
                 print(deep_report.barrier.describe(), file=out)
         if suppressed:

@@ -24,7 +24,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 __all__ = [
     "Combiner",
     "MIN", "MAX", "SUM", "ANY", "WITNESS", "OVERWRITE",
-    "OpSemantics", "op_semantics", "register_op_semantics",
+    "OpSemantics", "op_semantics", "register_op_semantics", "known_ops",
     "INT_DOMAIN", "BOOL_DOMAIN",
 ]
 
@@ -148,6 +148,16 @@ _OP_SEMANTICS: Dict[str, OpSemantics] = {
 def op_semantics(op: str) -> Optional[OpSemantics]:
     """Registered semantics for a combiner op name, or None if unknown."""
     return _OP_SEMANTICS.get(op)
+
+
+def known_ops() -> Tuple[str, ...]:
+    """All registered op-semantics names, sorted.
+
+    The certification tiers enumerate this to cross-check each other:
+    the property test in ``tests/check/test_mc_property.py`` asserts the
+    model checker's schedule-level verdict agrees with the algebraic
+    ``evaluate_op`` verdict for every op listed here."""
+    return tuple(sorted(_OP_SEMANTICS))
 
 
 def register_op_semantics(

@@ -128,15 +128,28 @@ class Enactor:
         hook site, the ``sim/faults.py`` discipline (lint rule REP109).
     relaxed_barriers:
         Opt in to the (future) relaxed-barrier execution mode (ROADMAP
-        item 5).  Gated by a **certification precondition**: every
-        combiner declared for an array actually allocated on the data
-        slices must carry a :class:`CombinerCertificate`
-        (``repro.check.deep.certify``) proving — by exhaustive
-        evaluation, not by trusting the declaration — that its merge op
-        is idempotent *and* commutative.  Declarations the certifier
-        refutes, cannot resolve, or that are nondeterministic by design
-        (``witness``) raise :class:`SimulationError` at construction.
-        The certificates are kept in ``self.combiner_certificates``.
+        item 5).  Gated by a **two-tier certification precondition**
+        (docs/static_analysis.md, "relaxed-barrier certificate
+        contract"):
+
+        1. every combiner declared for an array actually allocated on
+           the data slices must carry a :class:`CombinerCertificate`
+           (``repro.check.deep.certify``) proving — by exhaustive
+           evaluation, not by trusting the declaration — that its merge
+           op is idempotent *and* commutative;
+        2. the iteration class must carry a
+           :class:`~repro.check.deep.modelcheck.ScheduleCertificate`
+           proving — by exhaustive schedule exploration
+           (``repro check --mc``) — that the *composition* of its
+           effects reaches a unique final state under every relaxed
+           interleaving.  Tier 1 certifies each merge in isolation;
+           only tier 2 rules out cross-effect divergence like a value
+           computed from a partial remote snapshot (SSSP's MIN combiner
+           passes tier 1 yet the primitive is relaxed-unsafe).
+
+        Failing either tier raises :class:`SimulationError` at
+        construction.  The certificates are kept in
+        ``self.combiner_certificates`` / ``self.schedule_certificate``.
         Execution semantics are unchanged today: this lands the safety
         gate before the relaxation itself.
     """
@@ -192,8 +205,10 @@ class Enactor:
         ]
         self.relaxed_barriers = relaxed_barriers
         self.combiner_certificates: dict = {}
+        self.schedule_certificate = None
         if relaxed_barriers:
             self._certify_combiners()
+            self._certify_schedule()
         self._setup_buffers()
         self.backend.bind(self)
 
@@ -227,6 +242,36 @@ class Enactor:
                 "relaxed_barriers requires every live combiner to be "
                 "certified idempotent and commutative by exhaustive "
                 f"evaluation; refused for {detail}",
+                site="enactor.certify",
+            )
+
+    def _certify_schedule(self) -> None:
+        """Relaxed-barrier precondition, tier 2: the iteration class
+        must hold a ScheduleCertificate from the superstep interleaving
+        model checker proving every relaxed schedule of its effect
+        summaries converges.  Combiner algebra alone (tier 1) cannot see
+        cross-effect hazards — a MIN-combined array read back into a new
+        update diverges under a late straggler merge even though every
+        individual merge commutes."""
+        from ..check.deep.modelcheck import certify_schedule_for
+
+        cert = certify_schedule_for(self.iteration_cls)
+        self.schedule_certificate = cert
+        if cert is None:
+            raise SimulationError(
+                "relaxed_barriers requires a ScheduleCertificate for "
+                f"{self.iteration_cls.__name__}, but its module could "
+                "not be model-checked (source unavailable or "
+                "unparseable); run `repro check --mc` on the primitive",
+                site="enactor.certify",
+            )
+        if not cert.certified_relaxed_safe:
+            detail = "; ".join(cert.reasons) or (
+                "exploration was %s" % cert.status)
+            raise SimulationError(
+                "relaxed_barriers requires the schedule exploration to "
+                "certify every relaxed interleaving convergent; refused "
+                f"for {self.iteration_cls.__name__}: {detail}",
                 site="enactor.certify",
             )
 

@@ -40,6 +40,7 @@ INSTANT_TYPES = frozenset(
         "recovery.gpu-loss",
         "recovery.rollback",
         "sanitizer.hazard",
+        "mc.divergence",
     }
 )
 

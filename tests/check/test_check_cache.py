@@ -1,0 +1,136 @@
+"""Tests for the deep-check memoization cache
+(``repro.check.deep.cache``): content-identity hits, mtime
+revalidation, version invalidation, silent degradation, and the
+``--no-cache`` CLI escape hatch."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.check.deep import DeepCheckCache, deep_analyze_paths
+from repro.check.deep.cache import ANALYSIS_VERSION
+from repro.cli import main
+
+SRC = '''
+"""doc"""
+import numpy as np
+'''
+
+
+@pytest.fixture
+def module_file(tmp_path):
+    p = tmp_path / "mod.py"
+    p.write_text(SRC, encoding="utf-8")
+    return p
+
+
+def _cache(tmp_path):
+    return DeepCheckCache(root=str(tmp_path / "cache"))
+
+
+class TestCacheCore:
+    def test_miss_then_hit(self, tmp_path, module_file):
+        c = _cache(tmp_path)
+        assert c.get(str(module_file), SRC, "deep") is None
+        c.put(str(module_file), SRC, "deep", {"findings": []})
+        assert c.get(str(module_file), SRC, "deep") == {"findings": []}
+        assert c.hits == 1 and c.misses == 1
+
+    def test_tiers_are_independent(self, tmp_path, module_file):
+        c = _cache(tmp_path)
+        c.put(str(module_file), SRC, "deep", {"findings": [1]})
+        assert c.get(str(module_file), SRC, "mc") is None
+
+    def test_persists_across_instances(self, tmp_path, module_file):
+        c = _cache(tmp_path)
+        c.put(str(module_file), SRC, "mc", {"findings": []})
+        c.save()
+        c2 = _cache(tmp_path)
+        assert c2.get(str(module_file), SRC, "mc") == {"findings": []}
+
+    def test_touch_with_same_content_revalidates(self, tmp_path,
+                                                 module_file):
+        c = _cache(tmp_path)
+        c.put(str(module_file), SRC, "deep", {"findings": []})
+        c.save()
+        st = os.stat(module_file)
+        os.utime(module_file, ns=(st.st_atime_ns + 10**9,
+                                  st.st_mtime_ns + 10**9))
+        c2 = _cache(tmp_path)
+        assert c2.get(str(module_file), SRC, "deep") == {"findings": []}
+
+    def test_content_change_misses(self, tmp_path, module_file):
+        c = _cache(tmp_path)
+        c.put(str(module_file), SRC, "deep", {"findings": []})
+        c.save()
+        new_src = SRC + "\nx = 1\n"
+        module_file.write_text(new_src, encoding="utf-8")
+        c2 = _cache(tmp_path)
+        assert c2.get(str(module_file), new_src, "deep") is None
+
+    def test_analysis_version_invalidates_store(self, tmp_path,
+                                                module_file):
+        c = _cache(tmp_path)
+        c.put(str(module_file), SRC, "deep", {"findings": []})
+        c.save()
+        store = json.loads(
+            open(c.store_path, encoding="utf-8").read())
+        assert store["analysis_version"] == ANALYSIS_VERSION
+        store["analysis_version"] = ANALYSIS_VERSION + 1
+        with open(c.store_path, "w", encoding="utf-8") as fh:
+            json.dump(store, fh)
+        c2 = _cache(tmp_path)
+        assert c2.get(str(module_file), SRC, "deep") is None
+
+    def test_corrupt_store_degrades_to_miss(self, tmp_path, module_file):
+        c = _cache(tmp_path)
+        c.put(str(module_file), SRC, "deep", {"findings": []})
+        c.save()
+        with open(c.store_path, "w", encoding="utf-8") as fh:
+            fh.write("not json{")
+        c2 = _cache(tmp_path)
+        assert c2.get(str(module_file), SRC, "deep") is None
+
+    def test_describe_reports_counters(self, tmp_path, module_file):
+        c = _cache(tmp_path)
+        c.get(str(module_file), SRC, "deep")
+        c.put(str(module_file), SRC, "deep", {"findings": []})
+        c.get(str(module_file), SRC, "deep")
+        assert "1 hit" in c.describe() and "1 miss" in c.describe()
+
+
+class TestReportIntegration:
+    def test_second_run_is_all_hits_with_same_findings(self, tmp_path,
+                                                       module_file):
+        c1 = _cache(tmp_path)
+        r1 = deep_analyze_paths([str(module_file)], verify_framework=False,
+                                deep=True, mc=True, cache=c1)
+        assert c1.hits == 0
+        c2 = _cache(tmp_path)
+        r2 = deep_analyze_paths([str(module_file)], verify_framework=False,
+                                deep=True, mc=True, cache=c2)
+        assert c2.misses == 0 and c2.hits == 2  # one per tier
+        assert [f.to_dict() for f in r1.findings] == \
+               [f.to_dict() for f in r2.findings]
+        assert r2.cache_note
+
+
+class TestNoCacheFlag:
+    def test_no_cache_writes_nothing(self, tmp_path, module_file,
+                                     monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = io.StringIO()
+        code = main(["check", "--mc", "--no-cache", str(module_file)],
+                    out=out)
+        assert code == 0
+        assert not (tmp_path / ".repro-check-cache").exists()
+
+    def test_default_populates_cache_dir(self, tmp_path, module_file,
+                                         monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = io.StringIO()
+        code = main(["check", "--mc", str(module_file)], out=out)
+        assert code == 0
+        assert (tmp_path / ".repro-check-cache" / "deep.json").exists()

@@ -1,0 +1,124 @@
+"""Property test: the model checker's schedule-level verdicts agree
+with the algebraic certifier's exhaustive-evaluation verdicts.
+
+``explore_op_schedules`` (schedules tier) quantifies over delivery
+orders and at-least-once re-delivery of concrete merge functions;
+``evaluate_op`` (certify tier) evaluates the commutativity and
+idempotency formulas over the same finite domain.  By construction the
+two must agree — this test enforces that for every registered op AND
+for arbitrary merge functions drawn as random lookup tables, so a
+refinement to either prover that breaks the correspondence fails CI.
+"""
+
+import pytest
+
+from repro.check.deep.certify import certify_combiner, evaluate_op
+from repro.check.deep.schedules import (
+    FOLD_MULTISET,
+    FOLD_SEQ,
+    FOLD_SET,
+    explore_op_schedules,
+    fold_kind_for,
+)
+from repro.core.combine import Combiner, OpSemantics, known_ops, op_semantics
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+#: small domain: large enough to refute every arithmetic property seen
+#: in practice, small enough that both provers stay exhaustive
+_DOMAIN = (0, 1, 2)
+
+
+def _table_fn(table):
+    return lambda a, b: table[(a, b)]
+
+
+_tables = st.fixed_dictionaries({
+    (a, b): st.sampled_from(_DOMAIN)
+    for a in _DOMAIN for b in _DOMAIN
+})
+
+
+class TestRegisteredOpsAgree:
+    @pytest.mark.parametrize("op", known_ops())
+    def test_schedule_verdict_matches_algebraic_verdict(self, op):
+        sem = op_semantics(op)
+        if sem.fn is None:  # witness: nondeterministic by declaration
+            return
+        idem, comm, _assoc, _cex = evaluate_op(sem)
+        v = explore_op_schedules(sem.fn, sem.domain)
+        assert v["order_independent"] == comm, op
+        assert v["redelivery_safe"] == idem, op
+
+    @pytest.mark.parametrize("op", known_ops())
+    def test_fold_kind_is_derived_from_evaluated_algebra(self, op):
+        sem = op_semantics(op)
+        if sem.fn is None:
+            assert fold_kind_for(None, None) == FOLD_SEQ
+            return
+        idem, comm, _assoc, _cex = evaluate_op(sem)
+        fold = fold_kind_for(idem, comm)
+        if comm and idem:
+            assert fold == FOLD_SET
+        elif comm:
+            assert fold == FOLD_MULTISET
+        else:
+            assert fold == FOLD_SEQ
+
+
+class TestArbitraryMergeFunctionsAgree:
+    @settings(max_examples=200, deadline=None)
+    @given(table=_tables)
+    def test_order_independence_agrees(self, table):
+        fn = _table_fn(table)
+        sem = OpSemantics(fn, _DOMAIN)
+        _idem, comm, _assoc, _cex = evaluate_op(sem)
+        v = explore_op_schedules(fn, _DOMAIN)
+        assert v["order_independent"] == comm
+
+    @settings(max_examples=200, deadline=None)
+    @given(table=_tables)
+    def test_redelivery_safety_agrees(self, table):
+        fn = _table_fn(table)
+        sem = OpSemantics(fn, _DOMAIN)
+        idem, _comm, _assoc, _cex = evaluate_op(sem)
+        v = explore_op_schedules(fn, _DOMAIN)
+        assert v["redelivery_safe"] == idem
+
+    @settings(max_examples=100, deadline=None)
+    @given(table=_tables)
+    def test_counterexamples_are_concrete_witnesses(self, table):
+        fn = _table_fn(table)
+        v = explore_op_schedules(fn, _DOMAIN)
+        if not v["order_independent"]:
+            cex = v["order_counterexample"]
+            s, (a, b) = cex["start"], cex["updates"]
+            assert fn(fn(s, a), b) != fn(fn(s, b), a)
+        if not v["redelivery_safe"]:
+            cex = v["redelivery_counterexample"]
+            once = fn(cex["start"], cex["update"])
+            assert fn(once, cex["update"]) != once
+
+
+class TestOverClaimAgreement:
+    """REP114 fires when a declaration over-claims algebra the evaluator
+    refutes; the schedule explorer must reach the same refutation."""
+
+    def test_last_writer_commutativity_over_claim(self):
+        comb = Combiner("last", commutative=True,
+                        reason="wrongly claimed")
+        cert = certify_combiner("x", comb)
+        assert "commutative" in cert.overclaims
+        sem = op_semantics("last")
+        v = explore_op_schedules(sem.fn, sem.domain)
+        assert not v["order_independent"]
+
+    def test_sum_idempotency_over_claim(self):
+        comb = Combiner("sum", commutative=True, idempotent=True,
+                        reason="wrongly claimed")
+        cert = certify_combiner("x", comb)
+        assert "idempotent" in cert.overclaims
+        sem = op_semantics("sum")
+        v = explore_op_schedules(sem.fn, sem.domain)
+        assert not v["redelivery_safe"]

@@ -1,0 +1,238 @@
+"""Unit tests for the superstep interleaving explorer
+(``repro.check.deep.schedules``): fold semantics, divergence detection,
+partial-order reduction accounting, and replayable counterexamples."""
+
+import json
+
+import pytest
+
+from repro.check.deep.schedules import (
+    FOLD_EXCLUDED,
+    FOLD_MULTISET,
+    FOLD_SEQ,
+    FOLD_SET,
+    ArrayModel,
+    Effect,
+    GpuProgram,
+    build_counterexample,
+    canon,
+    dump_trace,
+    explore,
+    explore_op_schedules,
+    fold_kind_for,
+    replay,
+)
+
+
+def _prog(core=(), expand=(), payload=()):
+    return GpuProgram(core=tuple(core), expand=tuple(expand),
+                      payload_arrays=frozenset(payload))
+
+
+def _arr(name="x", op="min", fold=FOLD_SET):
+    return ArrayModel(name=name, op=op, fold=fold)
+
+
+class TestFoldKind:
+    def test_algebra_to_fold_mapping(self):
+        assert fold_kind_for(True, True) == FOLD_SET
+        assert fold_kind_for(False, True) == FOLD_MULTISET
+        assert fold_kind_for(True, False) == FOLD_SEQ
+        assert fold_kind_for(None, None) == FOLD_SEQ
+        assert fold_kind_for(True, True, excluded=True) == FOLD_EXCLUDED
+
+    def test_canon_is_order_insensitive_for_sets(self):
+        assert canon(frozenset(["b", "a"])) == canon(frozenset(["a", "b"]))
+
+
+class TestStrictModel:
+    def test_idempotent_forward_is_deterministic(self):
+        # BFS shape: apply a constant locally, forward the payload of
+        # the same array at the merge; SET fold absorbs re-application.
+        prog = _prog(
+            core=[Effect("apply", "x", ("const", "c"))],
+            expand=[Effect("apply", "x", ("pay", frozenset(["x"])))],
+            payload=["x"],
+        )
+        res = explore(prog, [_arr()], num_gpus=2, horizon=2)
+        assert res.model == "strict"
+        assert res.deterministic and res.exhausted
+        assert res.num_final_states == 1
+        assert res.divergent_choices is None
+
+    def test_peer_write_diverges_under_strict(self):
+        # A peer-slice write voids the pinned sender merge order: two
+        # strict schedules reach different states -> REP116 territory.
+        prog = _prog(
+            core=[Effect("apply", "x", ("const", "c")),
+                  Effect("peer", "x", ("expr", "h:1", frozenset(["x"])))],
+            expand=[Effect("apply", "x", ("pay", frozenset(["x"])))],
+            payload=["x"],
+        )
+        res = explore(prog, [_arr(fold=FOLD_SEQ)], num_gpus=2, horizon=2)
+        assert not res.deterministic
+        assert res.witness_choices is not None
+        assert res.divergent_choices is not None
+
+    def test_sum_fold_strict_is_deterministic(self):
+        # Non-idempotent merges are still safe under strict barriers:
+        # every schedule delivers each update exactly once in pinned
+        # sender order, and the multiset fold ignores that order.
+        prog = _prog(
+            core=[Effect("apply", "x", ("const", "c"))],
+            expand=[Effect("apply", "x", ("pay", frozenset(["x"])))],
+            payload=["x"],
+        )
+        res = explore(prog, [_arr(op="sum", fold=FOLD_MULTISET)],
+                      num_gpus=2, horizon=2)
+        assert res.deterministic and res.exhausted
+
+
+class TestRelaxedModel:
+    def _sum_prog(self):
+        return _prog(
+            core=[Effect("apply", "x", ("const", "c"))],
+            expand=[Effect("apply", "x", ("pay", frozenset(["x"])))],
+            payload=["x"],
+        )
+
+    def test_duplicate_delivery_breaks_multiset_fold(self):
+        # Relaxed re-delivery double-applies a sum update: divergent.
+        res = explore(self._sum_prog(),
+                      [_arr(op="sum", fold=FOLD_MULTISET)],
+                      num_gpus=2, horizon=2, relaxed=True)
+        assert res.model == "relaxed"
+        assert not res.deterministic
+        assert res.divergent_choices is not None
+
+    def test_set_fold_absorbs_duplicates(self):
+        res = explore(self._sum_prog(), [_arr(op="min", fold=FOLD_SET)],
+                      num_gpus=2, horizon=2, relaxed=True)
+        assert res.deterministic and res.exhausted
+
+    def test_seq_fold_is_slot_sensitive(self):
+        # Order-dependent merges see different arrival orders when a
+        # straggler lands late.
+        res = explore(self._sum_prog(), [_arr(op="sub", fold=FOLD_SEQ)],
+                      num_gpus=2, horizon=2, relaxed=True)
+        assert not res.deterministic
+
+    def test_mid_superstep_reset_races_stragglers(self):
+        # PR shape: the accumulator is reinitialized inside the compute
+        # phase; a straggler from the previous epoch lands after the
+        # reset in one schedule and before it in another.
+        prog = _prog(
+            core=[Effect("apply", "x", ("const", "c")),
+                  Effect("reset", "x", ("const", "z"), hook="h", line=3)],
+            expand=[Effect("apply", "x", ("pay", frozenset(["x"])))],
+            payload=["x"],
+        )
+        res = explore(prog, [_arr(op="min", fold=FOLD_SET)],
+                      num_gpus=2, horizon=2, relaxed=True)
+        assert not res.deterministic
+
+    def test_value_read_of_merged_state_diverges(self):
+        # SSSP shape: the forwarded value is an expression over the
+        # combined array, so a late merge changes the snapshot it reads.
+        prog = _prog(
+            core=[Effect("apply", "x",
+                         ("expr", "h:1", frozenset(["x"])))],
+            expand=[Effect("apply", "x", ("pay", frozenset(["x"])))],
+            payload=["x"],
+        )
+        res = explore(prog, [_arr(op="min", fold=FOLD_SET)],
+                      num_gpus=2, horizon=2, relaxed=True)
+        assert not res.deterministic
+
+
+class TestPartialOrderReduction:
+    def test_por_prunes_symmetric_schedules(self):
+        prog = _prog(
+            core=[Effect("apply", "x", ("const", "c"))],
+            expand=[Effect("apply", "x", ("pay", frozenset(["x"])))],
+            payload=["x"],
+        )
+        strict = explore(prog, [_arr()], num_gpus=3, horizon=2)
+        assert strict.exhausted
+        # full independence collapses strict exploration to a single
+        # canonical interleaving
+        assert strict.schedules == 1
+        assert strict.independence, "pruning must be justified"
+        relaxed = explore(prog, [_arr()], num_gpus=3, horizon=2,
+                          relaxed=True)
+        assert relaxed.exhausted
+        assert relaxed.pruned > 0, "POR should prune relaxed branches"
+
+    def test_budget_exhaustion_is_reported(self):
+        prog = _prog(
+            core=[Effect("apply", "x",
+                         ("expr", "h:1", frozenset(["x"])))],
+            expand=[Effect("apply", "x", ("pay", frozenset(["x"])))],
+            payload=["x"],
+        )
+        res = explore(prog, [_arr(op="sub", fold=FOLD_SEQ)], num_gpus=3,
+                      horizon=2, relaxed=True, max_states=5,
+                      stop_on_divergence=False)
+        assert not res.exhausted
+
+
+class TestReplay:
+    def _divergent(self):
+        prog = _prog(
+            core=[Effect("apply", "x", ("const", "c"))],
+            expand=[Effect("apply", "x", ("pay", frozenset(["x"])))],
+            payload=["x"],
+        )
+        arrays = [_arr(op="sum", fold=FOLD_MULTISET)]
+        res = explore(prog, arrays, num_gpus=2, horizon=2, relaxed=True)
+        assert res.divergent_choices is not None
+        return prog, arrays, res
+
+    def test_replay_is_deterministic(self):
+        prog, arrays, res = self._divergent()
+        a = replay(prog, arrays, res.num_gpus, res.horizon,
+                   res.divergent_choices, res.model, primitive="Toy")
+        b = replay(prog, arrays, res.num_gpus, res.horizon,
+                   res.divergent_choices, res.model, primitive="Toy")
+        assert a == b
+        assert a["events"], "replay must record schedule events"
+
+    def test_counterexample_pair_actually_diverges(self):
+        prog, arrays, res = self._divergent()
+        ce = build_counterexample(prog, arrays, res, primitive="Toy")
+        assert ce["model"] == "relaxed"
+        wit, div = ce["witness"], ce["divergent"]
+        assert wit["final_state"] != div["final_state"]
+        assert ce["first_divergent_step"] >= 0
+
+    def test_trace_doc_is_json_serializable(self):
+        prog, arrays, res = self._divergent()
+        ce = build_counterexample(prog, arrays, res, primitive="Toy")
+        doc = json.loads(dump_trace(ce["witness"]))
+        assert doc["version"] == 1
+        assert doc["primitive"] == "Toy"
+
+
+class TestOpScheduleExplorer:
+    def test_min_is_fully_safe(self):
+        from repro.core.combine import op_semantics
+        sem = op_semantics("min")
+        v = explore_op_schedules(sem.fn, sem.domain)
+        assert v["order_independent"] and v["redelivery_safe"]
+
+    def test_sum_is_order_independent_but_not_redelivery_safe(self):
+        from repro.core.combine import op_semantics
+        sem = op_semantics("sum")
+        v = explore_op_schedules(sem.fn, sem.domain)
+        assert v["order_independent"]
+        assert not v["redelivery_safe"]
+        assert v["redelivery_counterexample"] is not None
+
+    def test_last_writer_order_counterexample_is_concrete(self):
+        from repro.core.combine import op_semantics
+        sem = op_semantics("last")
+        v = explore_op_schedules(sem.fn, sem.domain)
+        assert not v["order_independent"]
+        cex = v["order_counterexample"]
+        finals = set(cex["finals"].values())
+        assert len(finals) > 1
