@@ -17,6 +17,11 @@ under three configurations:
   kernels enabled (``repro.core.kernels``); on hosts without Numba this
   times the NumPy fallback (~= ``serial``) and the recorded
   ``host.kernels.backend`` says which one ran;
+* ``processes_supervised`` — the processes backend wrapped in the
+  worker supervisor (``repro.core.supervise``): heartbeats, bounded
+  waits, and crash/hang detection armed but no faults injected, so the
+  per-case ``supervision_overhead`` ratio against plain ``processes``
+  is the price of the safety net on the happy path (gated at 1.05x);
 * ``serial_noworkspace`` — serial dispatch, workspace arenas off (the
   pre-optimization allocation-churn baseline);
 * ``serial_traced`` — serial dispatch with a live ``obs.Tracer``
@@ -64,6 +69,8 @@ _VARIANTS = {
     "serial": {"backend": "serial", "use_workspace": True},
     "threads": {"backend": "threads", "use_workspace": True},
     "processes": {"backend": "processes", "use_workspace": True},
+    "processes_supervised": {"backend": "processes", "use_workspace": True,
+                             "supervise": True},
     "serial_kernels": {"backend": "serial", "use_workspace": True,
                        "kernels": True},
     "serial_noworkspace": {"backend": "serial", "use_workspace": False},
@@ -223,6 +230,7 @@ def run_bench(
                 ser = case["variants"]["serial"]["median_ms"]
                 thr = case["variants"]["threads"]["median_ms"]
                 prc = case["variants"]["processes"]["median_ms"]
+                sup = case["variants"]["processes_supervised"]["median_ms"]
                 krn = case["variants"]["serial_kernels"]["median_ms"]
                 nws = case["variants"]["serial_noworkspace"]["median_ms"]
                 trd = case["variants"]["serial_traced"]["median_ms"]
@@ -231,6 +239,7 @@ def run_bench(
                 case["speedup_kernels"] = ser / krn if krn else 0.0
                 case["speedup_workspace"] = nws / ser if ser else 0.0
                 case["overhead_traced"] = trd / ser if ser else 0.0
+                case["supervision_overhead"] = sup / prc if prc else 0.0
                 # workers the processes backend could actually run in
                 # parallel: one per GPU, capped by host cores
                 workers = max(1, min(n, os.cpu_count() or 1))
@@ -248,7 +257,7 @@ def run_bench(
     if not was_enabled:
         kernels.disable()
     result = {
-        "schema": "repro-bench-3",
+        "schema": "repro-bench-4",
         "host": {
             "cpu_count": os.cpu_count(),
             "platform": platform.platform(),
@@ -274,13 +283,17 @@ def run_bench(
             "speedup_processes by min(gpus, cpu_count). "
             "speedup_workspace (zero-copy/arena win) and speedup_kernels "
             "(compiled hot loops; ~1.0 on the numpy fallback) are "
-            "host-parallelism independent."
+            "host-parallelism independent. supervision_overhead is the "
+            "no-fault cost of the worker supervisor relative to the "
+            "plain processes backend (heartbeat threads + bounded "
+            "waits + shm checksums), gated at 1.05x."
         ),
     }
     result["gates"] = {
         "threads": check_threads_regression(result),
         "processes": check_processes_regression(result),
         "tracing": check_tracing_overhead(result),
+        "supervision": check_supervision_overhead(result),
     }
     return result
 
@@ -375,6 +388,39 @@ def check_tracing_overhead(
                 return (
                     f"traced run {trd:.2f} ms vs serial {ser:.2f} ms on "
                     f"{gpus}-GPU {primitive} (> {max_ratio:.2f}x)"
+                )
+            return None
+    return f"no bench case for {gpus}-GPU {primitive} on rmat"
+
+
+def check_supervision_overhead(
+    result: dict, primitive: str = "bfs", gpus: int = 4, max_ratio: float = 1.05
+) -> Optional[str]:
+    """CI gate: the supervised processes backend must cost at most
+    ``max_ratio`` x the plain processes backend on the given RMAT case
+    when no faults fire — the safety net must be near-free on the happy
+    path.
+
+    On a 1-core host the processes medians are dominated by fork/pipe
+    scheduling noise (the same reason the threads/processes gates skip
+    there), so the gate returns the explicit skip marker instead of
+    failing on jitter.
+    """
+    if _single_core(result):
+        return "skipped: 1-core host, gate skipped"
+    for case in result["cases"]:
+        if (
+            case["primitive"] == primitive
+            and case["gpus"] == gpus
+            and case["dataset"] == "rmat"
+        ):
+            prc = case["variants"]["processes"]["median_ms"]
+            sup = case["variants"]["processes_supervised"]["median_ms"]
+            if sup > prc * max_ratio:
+                return (
+                    f"supervised processes {sup:.2f} ms vs plain "
+                    f"{prc:.2f} ms on {gpus}-GPU {primitive} "
+                    f"(> {max_ratio:.2f}x)"
                 )
             return None
     return f"no bench case for {gpus}-GPU {primitive} on rmat"

@@ -15,6 +15,7 @@ from typing import Dict, List, Type
 
 from .allocations import RawAllocationRule
 from .base import ModuleContext, Rule
+from .bounded_wait import BoundedWaitRule
 from .combiners import UndeclaredCombinerRule
 from .dtypes import BareDtypeRule
 from .hooks import IterationHooksRule
@@ -41,6 +42,7 @@ __all__ = [
     "SwallowedErrorRule",
     "UnguardedTracerRule",
     "ProcessUnsafeStateRule",
+    "BoundedWaitRule",
 ]
 
 #: every shipped rule class, in rule-ID order
@@ -55,6 +57,7 @@ DEFAULT_RULES: List[Type[Rule]] = [
     SwallowedErrorRule,
     UnguardedTracerRule,
     ProcessUnsafeStateRule,
+    BoundedWaitRule,
 ]
 
 

@@ -1,0 +1,121 @@
+"""REP118 ``unbounded-wait``: core IPC waits must be bounded.
+
+The ``processes`` execution backend talks to real forked workers over
+duplex pipes.  Any *unbounded* blocking call on that path turns a dead
+or wedged worker into a deadlocked parent: ``Connection.recv()`` blocks
+forever if the peer was SIGKILLed before replying, ``Process.join()``
+blocks forever on a SIGSTOPped child, and ``Queue.get()`` blocks
+forever on an empty queue nobody will ever fill.  The supervision layer
+(``repro.core.supervise``) exists precisely so every such wait runs
+under a deadline — ``wait_for_reply`` for replies, ``reap_worker`` for
+teardown — and this rule keeps new unbounded waits from creeping back
+into the core.
+
+What is flagged (in modules under a ``core`` directory only — that is
+where the worker-pool plumbing lives; tests and tools may block):
+
+* ``X.recv()`` — ``multiprocessing.connection.Connection.recv`` has no
+  timeout parameter at all, so a bare ``recv()`` is unbounded unless a
+  ``poll(timeout)`` / ``connection.wait(..., timeout)`` dominates it.
+  The rule is syntactic and cannot prove dominance, so bounded sites
+  carry an inline waiver naming the bounding call::
+
+      conn.recv()  # repro-check: disable=REP118 -- poll() above bounds this recv
+
+* ``X.join()`` with no arguments — ``Process.join``/``Thread.join``
+  without a ``timeout``.  (``str.join`` and ``os.path.join`` always
+  take arguments, so the zero-argument form is reliably a
+  process/thread join.)
+* ``X.get()`` with no ``timeout`` — ``Queue.get()`` and
+  ``Queue.get(True)`` block indefinitely.  (``dict.get`` takes at
+  least a key argument; the zero-argument form is reliably a queue.)
+
+A wait with any positional or ``timeout=`` argument is bounded and
+passes; so is ``get_nowait``/``block=False``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator, Optional
+
+from ..findings import Finding
+from .base import ModuleContext, Rule
+
+__all__ = ["BoundedWaitRule"]
+
+
+def _unbounded_wait(node: ast.Call) -> Optional[str]:
+    """Description of the unbounded wait ``node`` performs, else None."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    kwnames = {kw.arg for kw in node.keywords}
+    if attr == "recv":
+        # Connection.recv has no timeout parameter; any call is
+        # unbounded unless a dominating poll()/wait() bounds it (the
+        # rule cannot prove that — bounded sites carry a waiver)
+        if not node.args and not node.keywords:
+            return "Connection.recv() blocks forever if the worker died"
+        return None
+    if attr == "join":
+        if not node.args and "timeout" not in kwnames:
+            return (
+                "Process.join() without a timeout blocks forever on a "
+                "hung child"
+            )
+        return None
+    if attr == "get":
+        if node.args:
+            # Queue.get(True) blocks forever; Queue.get(False) and
+            # dict.get(key) do not
+            first = node.args[0]
+            blocking = (
+                isinstance(first, ast.Constant) and first.value is True
+            )
+            if not (blocking and len(node.args) == 1
+                    and "timeout" not in kwnames):
+                return None
+        elif node.keywords:
+            block_false = any(
+                kw.arg == "block"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False
+                for kw in node.keywords
+            )
+            if block_false or "timeout" in kwnames:
+                return None
+        return "Queue.get() without a timeout blocks forever when empty"
+    return None
+
+
+class BoundedWaitRule(Rule):
+    """Flag unbounded ``recv``/``join``/``get`` waits in core modules."""
+
+    rule_id = "REP118"
+    name = "unbounded-wait"
+    description = (
+        "core worker-pool code must bound every blocking IPC wait "
+        "(Connection.recv behind poll/wait, Process.join and Queue.get "
+        "with a timeout) so a dead or hung worker cannot deadlock the "
+        "parent; see repro.core.supervise"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if "core" not in PurePath(ctx.path).parts:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            desc = _unbounded_wait(node)
+            if desc is None:
+                continue
+            yield self.finding(
+                ctx, node,
+                f"unbounded wait in core: {desc}; bound it with a "
+                "timeout (or a dominating poll()/connection.wait() "
+                "plus an inline waiver naming it)",
+                call=getattr(node.func, "attr", "?"),
+            )

@@ -31,6 +31,9 @@ _REPRO_ERRORS = {
     "SimulationError",
     "ConvergenceError",
     "CommunicationError",
+    "WorkerCrashError",
+    "WorkerHangError",
+    "ShmIntegrityError",
 }
 _CATCH_ALLS = {"Exception", "BaseException"}
 

@@ -76,6 +76,19 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="execution backend: serial, threads[:N], or "
                           "processes[:N] (results are bit-identical; "
                           "only wall-clock changes)")
+    run.add_argument("--supervise", action="store_true",
+                     help="wrap the processes backend in the worker "
+                          "supervisor: heartbeats, crash/hang detection, "
+                          "respawn + superstep replay, escalation to "
+                          "rollback (requires --backend processes)")
+    run.add_argument("--supervise-deadline-factor", type=float,
+                     metavar="X", default=None,
+                     help="superstep deadline as a multiple of the EWMA "
+                          "of observed superstep wall times (default: 16)")
+    run.add_argument("--supervise-deadline-floor", type=float,
+                     metavar="SECONDS", default=None,
+                     help="minimum superstep deadline in seconds "
+                          "(default: 10)")
     run.add_argument("--kernels", action="store_true",
                      help="enable the compiled hot-loop kernels "
                           "(Numba njit; falls back to the interpreted "
@@ -131,11 +144,13 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--gate", action="store_true",
                        help="exit 1 if the threads backend is >1.2x "
                             "slower than serial, the processes backend "
-                            "is slower than threads, or an attached "
-                            "tracer is >1.5x serial, on the 4-GPU rmat "
-                            "BFS case (CI regression gate; the backend "
-                            "gates report 'skipped' on a 1-core host "
-                            "instead of passing vacuously)")
+                            "is slower than threads, an attached "
+                            "tracer is >1.5x serial, or the worker "
+                            "supervisor is >1.05x the plain processes "
+                            "backend, on the 4-GPU rmat BFS case (CI "
+                            "regression gate; the backend gates report "
+                            "'skipped' on a 1-core host instead of "
+                            "passing vacuously)")
     bench.add_argument("--baseline", metavar="BENCH.json",
                        help="previous bench JSON to compare the serial "
                             "(tracing-disabled) medians against; skipped "
@@ -152,14 +167,20 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--primitives", nargs="+", default=None,
                        choices=["bfs", "dobfs", "sssp", "cc", "bc", "pr"])
     chaos.add_argument("--kinds", nargs="+", default=None,
-                       choices=["transient-comm", "oom", "gpu-loss"])
+                       choices=["transient-comm", "oom", "gpu-loss",
+                                "worker-crash", "worker-hang",
+                                "shm-corrupt"])
     chaos.add_argument("--backends", nargs="+", default=None,
                        choices=["serial", "threads", "processes"])
     chaos.add_argument("--rmat-scale", type=int, default=7)
     chaos.add_argument("--seed", type=int, default=3)
     chaos.add_argument("--smoke", action="store_true",
                        help="CI configuration: 2 GPUs, serial backend, "
-                            "all primitives and fault kinds")
+                            "all primitives and fault kinds (host-level "
+                            "kinds always run on the processes backend)")
+    chaos.add_argument("--json", metavar="FILE", dest="json_out",
+                       help="also write the per-cell results (recovery "
+                            "counters, event cross-checks) as JSON")
 
     trace = sub.add_parser(
         "trace",
@@ -253,6 +274,17 @@ def _run_once(args, graph, scale, num_gpus, out=None, tracer=None):
         kwargs["sanitize"] = True
     if getattr(args, "backend", "serial") != "serial":
         kwargs["backend"] = args.backend
+    if getattr(args, "supervise", False):
+        from .core.supervise import SupervisionConfig
+
+        overrides = {}
+        if getattr(args, "supervise_deadline_factor", None) is not None:
+            overrides["deadline_factor"] = args.supervise_deadline_factor
+        if getattr(args, "supervise_deadline_floor", None) is not None:
+            overrides["deadline_floor"] = args.supervise_deadline_floor
+        kwargs["supervise"] = True
+        if overrides:
+            kwargs["supervision"] = SupervisionConfig(**overrides)
     if getattr(args, "faults", None):
         from .sim.faults import FaultPlan
 
@@ -314,6 +346,16 @@ def _cmd_run(args, out) -> int:
             f"{metrics.checkpoints_taken} checkpoints"
             + (f", degraded GPUs {metrics.degraded_gpus}"
                if metrics.degraded_gpus else ""),
+            file=out,
+        )
+    if (metrics.worker_respawns or metrics.hang_detections
+            or metrics.supersteps_replayed):
+        print(
+            f"supervision: {metrics.worker_respawns} worker respawns, "
+            f"{metrics.supersteps_replayed} supersteps replayed, "
+            f"{metrics.hang_detections} hang detections "
+            f"({metrics.supervision_overhead_seconds * 1e3:.1f} ms "
+            f"overhead)",
             file=out,
         )
     if tracer is not None:
@@ -427,6 +469,7 @@ def _cmd_bench(args, out) -> int:
             f"{c['speedup_kernels']:.2f}x",
             f"{c['speedup_workspace']:.2f}x",
             f"{c['overhead_traced']:.2f}x",
+            f"{c['supervision_overhead']:.2f}x",
         ]
         for c in result["cases"]
     ]
@@ -435,7 +478,7 @@ def _cmd_bench(args, out) -> int:
         render_table(
             ["dataset", "primitive", "GPUs", "serial ms", "threads ms",
              "procs ms", "kernels ms", "thr. x", "proc x", "eff/worker",
-             "kern x", "ws x", "trace cost"],
+             "kern x", "ws x", "trace cost", "sup cost"],
             rows,
             title=f"enact() wall-clock "
                   f"(host cores: {result['host']['cpu_count']}, "
@@ -515,6 +558,28 @@ def _cmd_chaos(args, out) -> int:
         ),
         file=out,
     )
+    if args.json_out:
+        import json as _json
+
+        doc = {
+            "cells": [
+                {
+                    "primitive": r.primitive,
+                    "num_gpus": r.num_gpus,
+                    "kind": r.kind,
+                    "backend": r.backend,
+                    "ok": r.ok,
+                    "detail": r.detail,
+                    "recovery": r.recovery,
+                }
+                for r in results
+            ],
+            "recovered": len(results) - len(failed),
+            "total": len(results),
+        }
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}", file=out)
     if failed:
         print(f"chaos: {len(failed)} cell(s) failed", file=sys.stderr)
         return 1

@@ -49,14 +49,27 @@ every run and after any rollback/repartition (:meth:`begin_run` /
 from __future__ import annotations
 
 import multiprocessing
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..errors import DeviceLostError, SimulationError
+from ..errors import (
+    DeviceLostError,
+    SimulationError,
+    WorkerCrashError,
+    WorkerHangError,
+)
 from .shm import SliceManifest, _rewrap_like
+from .supervise import (
+    reap_worker,
+    slice_checksum,
+    wait_for_reply,
+    worker_recv,
+)
 
 __all__ = [
     "GpuStepEffects",
@@ -244,7 +257,19 @@ class ThreadsBackend(ExecutionBackend):
 # processes backend
 # ---------------------------------------------------------------------------
 
-def _worker_loop(conn, enactor, iteration_obj, gpu_ids, manifest):
+def _heartbeat_loop(heartbeat, interval: float) -> None:
+    """Daemon-thread body: bump the shared heartbeat slot forever.
+
+    A SIGSTOPped or kernel-wedged worker stops bumping, which is how
+    the parent's staleness check distinguishes a hang from slow work.
+    """
+    while True:
+        heartbeat.value = time.monotonic()
+        time.sleep(interval)
+
+
+def _worker_loop(conn, enactor, iteration_obj, gpu_ids, manifest,
+                 heartbeat=None, sup_cfg=None):
     """Body of one forked worker: serve superstep requests until "stop".
 
     The worker owns ``gpu_ids`` for the pool's lifetime (GPU affinity:
@@ -253,6 +278,10 @@ def _worker_loop(conn, enactor, iteration_obj, gpu_ids, manifest):
     re-attached through the shared-memory registry by *name*, proving
     the manifest layer; CSR segments are reached through the inherited
     fork mappings, which alias the same physical pages.
+
+    Under supervision (``heartbeat``/``sup_cfg`` set) the worker also
+    runs a heartbeat thread and checksums its slice windows into each
+    effects sidecar.
     """
     problem = enactor.problem
     for gpu, name, arr in manifest.attach_slices():
@@ -261,9 +290,16 @@ def _worker_loop(conn, enactor, iteration_obj, gpu_ids, manifest):
             problem.data_slices[gpu].arrays[name] = _rewrap_like(old, arr)
     machine = enactor.machine
     tracer = enactor.tracer
+    checksums = sup_cfg is not None and sup_cfg.shm_checksums
+    if heartbeat is not None:
+        interval = sup_cfg.heartbeat_interval if sup_cfg else 0.05
+        threading.Thread(
+            target=_heartbeat_loop, args=(heartbeat, interval),
+            daemon=True, name="repro-heartbeat",
+        ).start()
     while True:
         try:
-            msg = conn.recv()
+            msg = worker_recv(conn)
         except (EOFError, OSError):
             break
         if msg[0] == "stop":
@@ -294,7 +330,8 @@ def _worker_loop(conn, enactor, iteration_obj, gpu_ids, manifest):
                 error = (gpu_index, exc)
                 break
             replies.append(
-                _build_sidecar(enactor, gpu_index, eff, fault_snap)
+                _build_sidecar(enactor, gpu_index, eff, fault_snap,
+                               checksum=checksums)
             )
         if error is not None:
             gpu_index, exc = error
@@ -312,17 +349,24 @@ def _worker_loop(conn, enactor, iteration_obj, gpu_ids, manifest):
     conn.close()
 
 
-def _build_sidecar(enactor, gpu_index, eff, fault_snap) -> dict:
+def _build_sidecar(enactor, gpu_index, eff, fault_snap,
+                   checksum: bool = False) -> dict:
     """Everything beyond slice-array writes that a worker's superstep
     changed and the parent must replay: stream horizons, pool
     accounting, frontier capacities, fault consumption, staged
     tracer/sanitizer records, and declared per-GPU attribute
-    mutations (``ProblemBase.PER_GPU_MUTABLE_ATTRS``)."""
+    mutations (``ProblemBase.PER_GPU_MUTABLE_ATTRS``).  With
+    ``checksum=True`` the sidecar also carries an adler32 digest of the
+    GPU's slice windows for the parent's per-barrier integrity check."""
     machine = enactor.machine
     gpu = machine.gpus[gpu_index]
     tracer = enactor.tracer
     problem = enactor.problem
     return {
+        "shmsum": (
+            slice_checksum(problem.data_slices[gpu_index])
+            if checksum else None
+        ),
         "gpu": gpu_index,
         "eff": eff,
         "streams": {n: s.available_at for n, s in gpu.streams.items()},
@@ -366,9 +410,14 @@ class ProcessesBackend(ExecutionBackend):
 
     def __init__(self, max_workers: Optional[int] = None):
         self.max_workers = max_workers
-        self._workers: Optional[List[tuple]] = None
+        self._workers: Optional[List[Optional[tuple]]] = None
         self._owner: Dict[int, int] = {}
         self._manifest: Optional[SliceManifest] = None
+        #: attached WorkerSupervisor, or None (set by the enactor when
+        #: supervision is enabled); consulted at every dispatch
+        self.supervisor = None
+        self._heartbeats: Optional[List] = None
+        self._buckets: List[List[int]] = []
 
     # -- lifecycle -------------------------------------------------------
     def begin_run(self) -> None:
@@ -389,24 +438,25 @@ class ProcessesBackend(ExecutionBackend):
         self.invalidate()
 
     def _teardown_workers(self) -> None:
+        """Reap the whole pool with bounded, escalating waits.
+
+        Safe under a half-dead pool: already-crashed or SIGSTOPped
+        workers are resumed/killed rather than joined forever, and
+        retired slots (None) are skipped.  Idempotent.
+        """
         if not self._workers:
             self._workers = None
+            self._heartbeats = None
+            self._owner = {}
             return
-        for proc, conn in self._workers:
-            try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc, conn in self._workers:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
-                proc.join(timeout=10)
-            try:
-                conn.close()
-            except OSError:
-                pass
+        timeout = 10.0
+        if self.supervisor is not None:
+            timeout = self.supervisor.config.teardown_timeout
+        for entry in self._workers:
+            if entry is not None:
+                reap_worker(entry[0], entry[1], timeout=timeout)
         self._workers = None
+        self._heartbeats = None
         self._owner = {}
 
     def _spawn(self, enactor, iteration_obj, gpu_indices) -> None:
@@ -420,20 +470,68 @@ class ProcessesBackend(ExecutionBackend):
         for k, g in enumerate(gpu_indices):
             buckets[k % width].append(g)
             self._owner[g] = k % width
-        ctx = multiprocessing.get_context("fork")
+        self._buckets = buckets
         self._workers = []
+        self._heartbeats = []
         for w in range(width):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_loop,
-                args=(child_conn, enactor, iteration_obj,
-                      buckets[w], self._manifest),
-                daemon=True,
-                name=f"repro-gpu-proc-{w}",
-            )
-            proc.start()
-            child_conn.close()
-            self._workers.append((proc, parent_conn))
+            self._workers.append(None)
+            self._heartbeats.append(None)
+            self._fork_worker(w, enactor, iteration_obj)
+
+    def _fork_worker(self, w: int, enactor, iteration_obj) -> None:
+        """Fork (or re-fork) worker slot ``w`` for its fixed GPU bucket.
+
+        Used both by the initial spawn and by supervised respawn: the
+        new fork inherits the parent's pre-superstep state (sidecars
+        are only applied after all replies arrive) and re-attaches the
+        shared-memory slices by name, so a replayed superstep runs
+        bit-identically to the first attempt.
+        """
+        ctx = multiprocessing.get_context("fork")
+        heartbeat = None
+        sup_cfg = None
+        if self.supervisor is not None:
+            sup_cfg = self.supervisor.config
+            heartbeat = ctx.Value("d", time.monotonic(), lock=False)
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_loop,
+            args=(child_conn, enactor, iteration_obj,
+                  self._buckets[w], self._manifest, heartbeat, sup_cfg),
+            daemon=True,
+            name=f"repro-gpu-proc-{w}",
+        )
+        proc.start()
+        child_conn.close()
+        self._workers[w] = (proc, parent_conn)
+        self._heartbeats[w] = heartbeat
+
+    def _reap_slot(self, w: int) -> None:
+        """Reap worker slot ``w`` with bounded waits; idempotent."""
+        entry = self._workers[w]
+        if entry is not None:
+            timeout = 10.0
+            if self.supervisor is not None:
+                timeout = self.supervisor.config.teardown_timeout
+            reap_worker(entry[0], entry[1], timeout=timeout)
+            self._workers[w] = None
+
+    def _respawn_worker(self, w: int, enactor, iteration_obj) -> bool:
+        """Reap a failed worker and fork a replacement into its slot."""
+        self._reap_slot(w)
+        try:
+            self._fork_worker(w, enactor, iteration_obj)
+        except OSError:  # pragma: no cover - fork exhaustion
+            return False
+        return True
+
+    def _retire_worker(self, w: int) -> None:
+        """Reap worker ``w`` and leave its slot dead (escalation path:
+        the enactor's rollback will invalidate and rebuild the pool
+        sized to the survivors)."""
+        self._reap_slot(w)
+        for g in self._buckets[w]:
+            self._owner.pop(g, None)
 
     # -- dispatch --------------------------------------------------------
     def run_iteration(self, enactor, iteration, iteration_obj,
@@ -468,25 +566,32 @@ class ProcessesBackend(ExecutionBackend):
                 "backend.dispatch", backend=self.name,
                 supersteps=len(gpu_indices), workers=len(self._workers),
             )
-        for w, (proc, conn) in enumerate(self._workers):
+        payloads: Dict[int, tuple] = {}
+        for w in range(len(self._workers)):
             if jobs[w]:
-                conn.send((
+                payloads[w] = (
                     "step", iteration, jobs[w], attrs,
                     {g: stream_times[g] for g, _f, _i in jobs[w]},
                     guarded,
-                ))
-        replies: Dict[int, dict] = {}
-        for w, (proc, conn) in enumerate(self._workers):
-            if not jobs[w]:
-                continue
-            try:
-                msg = conn.recv()
-            except (EOFError, OSError):
-                self._teardown_workers()
-                raise SimulationError(
-                    f"processes backend: worker {w} died mid-superstep",
-                    iteration=iteration, site="backend.processes",
                 )
+        sup = self.supervisor
+        shadow = None
+        if sup is not None:
+            sup.deliver_due_host_faults(self, enactor, iteration)
+            shadow = sup.capture_shadow(enactor.problem, gpu_indices)
+        sent_at: Dict[int, float] = {}
+        for w, payload in payloads.items():
+            self._send(w, payload)
+            sent_at[w] = time.monotonic()
+        replies: Dict[int, dict] = {}
+        lost: Dict[int, DeviceLostError] = {}
+        for w in payloads:
+            msg = self._collect(
+                enactor, iteration, iteration_obj, w, payloads[w],
+                jobs[w], shadow, sent_at, guarded, lost,
+            )
+            if msg is None:  # worker escalated to the rollback path
+                continue
             if msg[0] == "error":
                 _, g, exc = msg
                 self._teardown_workers()
@@ -495,12 +600,158 @@ class ProcessesBackend(ExecutionBackend):
                 raise SimulationError(str(exc), gpu_id=g)
             for side in msg[1]:
                 replies[side["gpu"]] = side
+        if sup is not None:
+            sup.deliver_pending_corruption(enactor.problem)
+            for g in sup.verify_replies(enactor.problem, replies,
+                                        iteration):
+                err = sup.integrity_error(g, iteration)
+                if not guarded:
+                    self._teardown_workers()
+                    raise err
+                sup.emit("worker.lost", vt=machine.clock.now, gpu=g,
+                         iteration=iteration, reason="shm-integrity")
+                lost[g] = DeviceLostError(
+                    str(err), gpu_id=g, iteration=iteration,
+                    site="supervise.checksum",
+                )
         results = []
         for g in gpu_indices:
+            if g in lost:
+                results.append(lost[g])
+                continue
             side = replies[g]
             self._apply_sidecar(enactor, g, side)
             results.append(side["eff"])
         return results
+
+    def _send(self, w: int, payload: tuple) -> None:
+        """Ship one step request; a broken pipe (the worker is already
+        dead) is left for the bounded receive to detect and classify."""
+        entry = self._workers[w]
+        if entry is None:  # pragma: no cover - defensive
+            return
+        try:
+            entry[1].send(payload)
+        except (BrokenPipeError, OSError):
+            pass
+
+    def _collect(self, enactor, iteration, iteration_obj, w, payload,
+                 wjobs, shadow, sent_at, guarded, lost):
+        """Bounded receive from worker ``w`` with escalation.
+
+        Returns the worker's reply message, or None after escalating
+        every GPU of the worker into ``lost`` (guarded dispatch only).
+        Unsupervised, liveness is still bounded — a dead worker raises
+        SimulationError instead of deadlocking — but there is no
+        deadline, respawn, or replay.
+        """
+        sup = self.supervisor
+        machine = enactor.machine
+        while True:
+            proc, conn = self._workers[w]
+            heartbeat = self._heartbeats[w] if sup is not None else None
+            timeout = None
+            stale_after = None
+            poll = 0.05
+            if sup is not None:
+                poll = sup.config.poll_interval
+                stale_after = sup.config.stale_after
+                timeout = max(
+                    0.1,
+                    sup.deadline() - (time.monotonic() - sent_at[w]),
+                )
+            try:
+                msg = wait_for_reply(
+                    conn, proc, timeout=timeout, poll_interval=poll,
+                    heartbeat=heartbeat, stale_after=stale_after,
+                )
+            except WorkerCrashError as exc:
+                if sup is None:
+                    self._teardown_workers()
+                    raise SimulationError(
+                        f"processes backend: worker {w} died "
+                        f"mid-superstep (exitcode={exc.exitcode})",
+                        iteration=iteration, site="backend.processes",
+                    ) from exc
+                if self._handle_failure(enactor, iteration, iteration_obj,
+                                        w, payload, wjobs, shadow,
+                                        sent_at, guarded, lost, exc):
+                    continue
+                return None
+            except WorkerHangError as exc:
+                sup.hang_detections += 1
+                sup.emit("heartbeat.stale", vt=machine.clock.now,
+                         worker=w, iteration=iteration,
+                         stale=bool(exc.stale))
+                if self._handle_failure(enactor, iteration, iteration_obj,
+                                        w, payload, wjobs, shadow,
+                                        sent_at, guarded, lost, exc):
+                    continue
+                return None
+            if sup is not None:
+                sup.observe(time.monotonic() - sent_at[w])
+            return msg
+
+    def _handle_failure(self, enactor, iteration, iteration_obj, w,
+                        payload, wjobs, shadow, sent_at, guarded, lost,
+                        exc) -> bool:
+        """Escalation policy for one detected worker failure.
+
+        Returns True when the worker was respawned and the superstep
+        replayed (caller re-enters the bounded wait); False when the
+        failure escalated into the DeviceLostError rollback path (or,
+        unguarded, does not return at all).
+        """
+        sup = self.supervisor
+        machine = enactor.machine
+        t0 = time.perf_counter()
+        sup.record_failure(iteration, w)
+        wgpus = [g for g, _f, _i in wjobs]
+        escalate = sup.should_escalate(iteration, w)
+        if not escalate:
+            # respawn path: make sure the old process is dead *before*
+            # restoring the windows (a SIGSTOPped worker briefly
+            # resumes during reaping and could scribble afterwards),
+            # then restore this worker's windows to their
+            # pre-superstep shadow (a dying worker may have written
+            # half a window), re-fork, replay the in-flight superstep
+            self._reap_slot(w)
+            sup.restore_shadow(enactor.problem, shadow, wgpus)
+            if self._respawn_worker(w, enactor, iteration_obj):
+                sup.worker_respawns += 1
+                sup.supersteps_replayed += len(wjobs)
+                sup.emit("worker.respawn", vt=machine.clock.now,
+                         worker=w, iteration=iteration,
+                         supersteps=len(wjobs))
+                # a second due host fault on the same GPU (e.g. a
+                # crash-twice plan) strikes the replacement here;
+                # only_gpus keeps specs aimed at other workers pending
+                sup.deliver_due_host_faults(
+                    self, enactor, iteration, only_gpus=wgpus
+                )
+                self._send(w, payload)
+                sent_at[w] = time.monotonic()
+                sup.overhead_seconds += time.perf_counter() - t0
+                return True
+            escalate = True
+        # rollback path: convert the failure into DeviceLostError
+        # values so RecoveryPolicy rolls back, reassigns onto the
+        # survivors, and repartitions (pool resize happens at the
+        # invalidate() that recovery triggers)
+        self._retire_worker(w)
+        if not guarded:
+            self._teardown_workers()
+            sup.overhead_seconds += time.perf_counter() - t0
+            raise exc
+        for g in wgpus:
+            sup.emit("worker.lost", vt=machine.clock.now, worker=w,
+                     gpu=g, iteration=iteration)
+            lost[g] = DeviceLostError(
+                f"worker {w} unrecoverable ({type(exc).__name__}: {exc})",
+                gpu_id=g, iteration=iteration, site="supervise.escalate",
+            )
+        sup.overhead_seconds += time.perf_counter() - t0
+        return False
 
     def _apply_sidecar(self, enactor, g, side) -> None:
         machine = enactor.machine

@@ -152,6 +152,17 @@ class Enactor:
         ``self.combiner_certificates`` / ``self.schedule_certificate``.
         Execution semantics are unchanged today: this lands the safety
         gate before the relaxation itself.
+    supervise:
+        Enable the real-process supervision layer
+        (:mod:`repro.core.supervise`, docs/robustness.md): heartbeats,
+        adaptive per-superstep deadlines, shm checksums, and the
+        respawn-then-rollback escalation policy for the processes
+        backend's worker pool.  Requires ``backend="processes"``;
+        incompatible with ``sanitize=True``.
+    supervision:
+        Optional :class:`~repro.core.supervise.SupervisionConfig`
+        overriding the deadline/heartbeat/checksum defaults; implies
+        ``supervise=True``.
     """
 
     def __init__(
@@ -170,6 +181,8 @@ class Enactor:
         recovery: Optional[RecoveryPolicy] = None,
         tracer: Optional[Tracer] = None,
         relaxed_barriers: bool = False,
+        supervise: bool = False,
+        supervision=None,
     ):
         self.problem = problem
         self.machine: Machine = problem.machine
@@ -200,6 +213,28 @@ class Enactor:
         self.backend = make_backend(backend, num_gpus=n)
         if tracer is not None:
             self.backend.tracer = tracer
+        self.supervisor = None
+        if supervise or supervision is not None:
+            from .backend import ProcessesBackend
+            from .supervise import WorkerSupervisor
+
+            if not isinstance(self.backend, ProcessesBackend):
+                raise SimulationError(
+                    "supervise=True requires the processes backend: "
+                    "supervision watches real worker processes "
+                    f"(got backend={self.backend.name!r})",
+                    site="enactor.init",
+                )
+            if sanitize:
+                raise SimulationError(
+                    "sanitize=True cannot be combined with supervise="
+                    "True: shadow-memory wrappers do not survive a "
+                    "shadow restore or worker respawn",
+                    site="enactor.init",
+                )
+            self.supervisor = WorkerSupervisor(supervision)
+            self.supervisor.tracer = tracer
+            self.backend.supervisor = self.supervisor
         self.workspaces: List[Optional[Workspace]] = [
             Workspace(i) if use_workspace else None for i in range(n)
         ]
@@ -821,9 +856,22 @@ class Enactor:
                 "checkpointing: shadow-memory wrappers do not survive a "
                 "rollback/repartition", site="enactor.enact",
             )
+        if (
+            machine.faults is not None
+            and machine.faults.has_host_faults()
+            and self.supervisor is None
+        ):
+            raise SimulationError(
+                "fault plan contains host-level kinds (worker-crash / "
+                "worker-hang / shm-corrupt), which strike real worker "
+                "processes: they require the processes backend with "
+                "supervise=True", site="enactor.enact",
+            )
         init_frontiers = problem.reset(**reset_kwargs)
         machine.reset()
         self.backend.begin_run()
+        if self.supervisor is not None:
+            self.supervisor.begin_run()
         tracer = self.tracer
         if tracer is not None:
             tracer.begin_run(problem.name, n, self.backend.name)
@@ -862,21 +910,23 @@ class Enactor:
             iter_start = machine.clock.now
             next_inboxes: List[List[tuple]] = [[] for _ in range(n)]
 
-            if machine.faults is None:
+            if machine.faults is None and self.supervisor is None:
                 results = self.backend.run_iteration(
                     self, iteration, iteration_obj,
                     frontiers, inboxes, range(n),
                 )
             else:
                 # every superstep runs to completion on every backend;
-                # device losses are returned (not raised) so one
-                # superstep's losses are collected together and handled
-                # in a single rollback
+                # device losses — virtual (injected) or escalated from
+                # a real worker failure by the supervisor — are
+                # returned (not raised) so one superstep's losses are
+                # collected together and handled in a single rollback
                 results = self.backend.run_iteration(
                     self, iteration, iteration_obj,
                     frontiers, inboxes, machine.alive_gpus, guarded=True,
                 )
-                machine.faults.end_iteration()
+                if machine.faults is not None:
+                    machine.faults.end_iteration()
                 losses = [
                     r for r in results if isinstance(r, DeviceLostError)
                 ]
@@ -970,6 +1020,12 @@ class Enactor:
             metrics.num_reallocs += machine.gpus[i].memory.num_reallocs
         if sanitizer is not None:
             metrics.sanitizer_hazards = sanitizer.report()
+        if self.supervisor is not None:
+            sup = self.supervisor
+            metrics.worker_respawns = sup.worker_respawns
+            metrics.supersteps_replayed = sup.supersteps_replayed
+            metrics.hang_detections = sup.hang_detections
+            metrics.supervision_overhead_seconds = sup.overhead_seconds
         if tracer is not None:
             tracer.end_run(
                 vt=metrics.elapsed,

@@ -30,22 +30,25 @@ from .chrome_trace import (
 from .events import (
     EVENT_TYPES,
     RECOVERY_EVENT_TYPES,
+    SUPERVISION_EVENT_TYPES,
     EventBus,
     JsonlWriter,
     validate_event,
     validate_events_jsonl,
 )
 from .profile import profile_rows, render_profile, term_of_span
-from .tracer import COMM_TRACK, Span, Tracer
+from .tracer import COMM_TRACK, SUPERVISOR_TRACK, Span, Tracer
 
 __all__ = [
     "COMM_TRACK",
+    "SUPERVISOR_TRACK",
     "Span",
     "Tracer",
     "EventBus",
     "JsonlWriter",
     "EVENT_TYPES",
     "RECOVERY_EVENT_TYPES",
+    "SUPERVISION_EVENT_TYPES",
     "validate_event",
     "validate_events_jsonl",
     "to_chrome_trace",

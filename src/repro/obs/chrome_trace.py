@@ -19,7 +19,8 @@ from __future__ import annotations
 import json
 from typing import Dict, List
 
-from .tracer import COMM_TRACK, Tracer
+from .events import SUPERVISION_EVENT_TYPES
+from .tracer import COMM_TRACK, SUPERVISOR_TRACK, Tracer
 
 __all__ = [
     "to_chrome_trace",
@@ -42,6 +43,7 @@ INSTANT_TYPES = frozenset(
         "sanitizer.hazard",
         "mc.divergence",
     }
+    | SUPERVISION_EVENT_TYPES
 )
 
 _US = 1e6  # virtual seconds -> trace microseconds
@@ -59,6 +61,7 @@ def to_chrome_trace(tracer: Tracer) -> dict:
     """Build the Chrome ``trace_event`` JSON object for a traced run."""
     num_gpus = _num_tracks(tracer)
     comm_tid = num_gpus
+    sup_tid = num_gpus + 1
     events: List[dict] = []
 
     def meta(pid: int, tid: int, name: str, value: str) -> None:
@@ -73,9 +76,17 @@ def to_chrome_trace(tracer: Tracer) -> dict:
         meta(0, g, "thread_name", f"GPU {g}")
         meta(1, g, "thread_name", f"GPU {g} (wall)")
     meta(0, comm_tid, "thread_name", "comm")
+    if any(e.get("type") in SUPERVISION_EVENT_TYPES for e in tracer.events) \
+            or any(s.track == SUPERVISOR_TRACK for s in tracer.spans):
+        meta(0, sup_tid, "thread_name", "supervisor")
 
     for s in tracer.spans:
-        tid = comm_tid if s.track == COMM_TRACK else s.track
+        if s.track == COMM_TRACK:
+            tid = comm_tid
+        elif s.track == SUPERVISOR_TRACK:
+            tid = sup_tid
+        else:
+            tid = s.track
         events.append(
             {
                 "ph": "X",
@@ -107,7 +118,12 @@ def to_chrome_trace(tracer: Tracer) -> dict:
         if etype not in INSTANT_TYPES or "vt" not in e:
             continue
         gpu = e.get("gpu")
-        tid = gpu if isinstance(gpu, int) and 0 <= gpu < num_gpus else comm_tid
+        if etype in SUPERVISION_EVENT_TYPES:
+            tid = sup_tid
+        elif isinstance(gpu, int) and 0 <= gpu < num_gpus:
+            tid = gpu
+        else:
+            tid = comm_tid
         events.append(
             {
                 "ph": "i",

@@ -16,6 +16,7 @@ from typing import Callable, List, Optional
 __all__ = [
     "EVENT_TYPES",
     "RECOVERY_EVENT_TYPES",
+    "SUPERVISION_EVENT_TYPES",
     "EventBus",
     "JsonlWriter",
     "validate_event",
@@ -29,6 +30,18 @@ RECOVERY_EVENT_TYPES = frozenset(
         "recovery.oom-regrow",
         "recovery.gpu-loss",
         "recovery.rollback",
+    }
+)
+
+#: real-process supervision actions (processes backend, supervise=True);
+#: the chaos harness cross-checks worker.respawn against
+#: RunMetrics.worker_respawns and heartbeat.stale against
+#: RunMetrics.hang_detections
+SUPERVISION_EVENT_TYPES = frozenset(
+    {
+        "worker.respawn",
+        "worker.lost",
+        "heartbeat.stale",
     }
 )
 
@@ -52,10 +65,11 @@ EVENT_TYPES = frozenset(
         "sanitizer.hazard",
     }
     | RECOVERY_EVENT_TYPES
+    | SUPERVISION_EVENT_TYPES
 )
 
 #: fields that must be integers when present
-_INT_FIELDS = ("gpu", "iteration", "src", "dst", "num_gpus")
+_INT_FIELDS = ("gpu", "iteration", "src", "dst", "num_gpus", "worker")
 
 
 class EventBus:

@@ -88,6 +88,17 @@ class RunMetrics:
     #: GPUs permanently lost during the run (degraded-mode set)
     degraded_gpus: List[int] = field(default_factory=list)
 
+    # -- real-process supervision (processes backend + supervise=True) ----
+    #: worker processes respawned after a detected crash/hang
+    worker_respawns: int = 0
+    #: per-GPU supersteps replayed after a respawn
+    supersteps_replayed: int = 0
+    #: hangs detected (stale heartbeat or superstep deadline exceeded)
+    hang_detections: int = 0
+    #: wall seconds of supervision overhead (shadow copies, checksums,
+    #: fault delivery, respawn handling) — wall-clock, not virtual time
+    supervision_overhead_seconds: float = 0.0
+
     # -- BSP aggregates ---------------------------------------------------
     @property
     def supersteps(self) -> int:
@@ -188,6 +199,11 @@ class RunMetrics:
                 "rollbacks": self.rollbacks,
                 "restore_seconds": self.restore_seconds,
                 "degraded_gpus": list(self.degraded_gpus),
+                "worker_respawns": self.worker_respawns,
+                "supersteps_replayed": self.supersteps_replayed,
+                "hang_detections": self.hang_detections,
+                "supervision_overhead_seconds":
+                    self.supervision_overhead_seconds,
             },
             "iterations": [
                 {

@@ -1,0 +1,83 @@
+"""REP118 unbounded-wait: core IPC waits must be bounded.
+
+The processes backend's parent/worker pipes deadlock the whole run if
+any blocking wait on the worker path is unbounded — a SIGKILLed worker
+never replies to ``Connection.recv()``, a SIGSTOPped one never
+satisfies ``Process.join()``.  The rule flags the unbounded forms in
+modules under a ``core`` directory and honors the inline waiver for
+sites bounded by a dominating ``poll()``/``connection.wait()``.
+"""
+
+import pathlib
+
+import repro
+from repro.check import lint_source
+from repro.check.lint import lint_paths
+from repro.check.rules import BoundedWaitRule
+
+
+CORE = "src/repro/core/toy.py"
+
+
+def ids_of(findings):
+    return [f.rule_id for f in findings]
+
+
+def lint_core(src):
+    return [f for f in lint_source(src, CORE) if f.rule_id == "REP118"]
+
+
+class TestBoundedWaitRule:
+    def test_bare_recv_flagged(self):
+        findings = lint_core("def pump(conn):\n    return conn.recv()\n")
+        assert ids_of(findings) == ["REP118"]
+        assert "recv" in findings[0].message
+
+    def test_join_without_timeout_flagged(self):
+        findings = lint_core("def reap(proc):\n    proc.join()\n")
+        assert ids_of(findings) == ["REP118"]
+        assert "join" in findings[0].message
+
+    def test_queue_get_without_timeout_flagged(self):
+        src = "def drain(q):\n    return q.get()\n"
+        assert ids_of(lint_core(src)) == ["REP118"]
+        src = "def drain(q):\n    return q.get(True)\n"
+        assert ids_of(lint_core(src)) == ["REP118"]
+
+    def test_bounded_forms_pass(self):
+        src = (
+            "def ok(proc, q, d, parts):\n"
+            "    proc.join(timeout=5.0)\n"
+            "    proc.join(5.0)\n"
+            "    q.get(timeout=1.0)\n"
+            "    q.get(True, 1.0)\n"
+            "    q.get(block=False)\n"
+            "    q.get_nowait()\n"
+            "    d.get('key')\n"
+            "    ', '.join(parts)\n"
+        )
+        assert lint_core(src) == []
+
+    def test_waiver_suppresses_bounded_recv(self):
+        src = (
+            "def pump(conn):\n"
+            "    if conn.poll(1.0):\n"
+            "        # repro-check: disable=REP118 -- poll() bounds this recv\n"
+            "        return conn.recv()\n"
+        )
+        assert lint_core(src) == []
+
+    def test_outside_core_not_flagged(self):
+        src = "def pump(conn):\n    return conn.recv()\n"
+        findings = lint_source(src, "tools/replay.py")
+        assert "REP118" not in ids_of(findings)
+
+    def test_shipped_core_is_clean(self):
+        # the acceptance gate: every blocking IPC wait in the shipped
+        # core either carries a timeout or a waiver naming its bound
+        core = pathlib.Path(repro.__path__[0]) / "core"
+        findings = [
+            f for f in lint_paths([str(core)], rules=[BoundedWaitRule()])
+            if f.rule_id == "REP118"
+        ]
+        assert findings == []
