@@ -44,6 +44,7 @@ Use :func:`run_chaos_matrix` programmatically or
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -211,6 +212,7 @@ def run_chaos_case(
     edge_factor: int = 8,
     seed: int = 3,
     check_events: bool = True,
+    dump_path: Optional[str] = None,
     _inputs=None,
 ) -> ChaosResult:
     """Run one chaos cell and compare against the fault-free reference.
@@ -219,6 +221,13 @@ def run_chaos_case(
     an in-memory event bus and every recovery event count is asserted
     against the matching ``RunMetrics`` counter — retries, OOM regrows,
     rollbacks, and checkpoints must agree exactly, or the cell fails.
+
+    Every faulted run carries a :class:`~repro.obs.recorder.FlightRecorder`
+    (the always-on tier this harness exists to exercise): supervisor
+    escalations dump a crash report mid-run, and a cell that *fails* —
+    exception, wrong result, or counter mismatch — dumps one on the way
+    out.  ``dump_path`` writes the latest dump there; the dump count is
+    reported as ``recovery["flight_dumps"]``.
     """
     graph, weighted = _inputs or _build_inputs(rmat_scale, edge_factor, seed)
     runner = RUNNERS[primitive]
@@ -251,12 +260,22 @@ def run_chaos_case(
         bus.subscribe(bus_records.append)
         tracer = Tracer(bus=bus)
         extra = dict(extra, tracer=tracer)
+    from .obs import FlightRecorder
+
+    recorder = FlightRecorder(path=dump_path)
+    extra = dict(extra, flight_recorder=recorder)
     try:
         out, metrics, _ = runner(g, machine, **kwargs, **extra)
     except Exception as exc:  # noqa: BLE001 - a cell reports, not raises
+        if not recorder.dumps:
+            # enact()'s own hook only covers ReproError; anything else
+            # (or an error before enact) still deserves forensics
+            recorder.dump("cell-exception", error=exc,
+                          faults=machine.faults)
         return ChaosResult(
             primitive, num_gpus, kind, backend, ok=False,
             detail=f"{type(exc).__name__}: {exc}",
+            recovery={"flight_dumps": len(recorder.dumps)},
         )
 
     if primitive in EXACT_PRIMITIVES:
@@ -322,10 +341,14 @@ def run_chaos_case(
         detail = f"fault never fired (recovery counters: {recovery})"
     else:
         detail = event_mismatch
+    ok = same and recovered and not event_mismatch
+    if not ok:
+        recorder.dump("cell-failure", faults=machine.faults,
+                      detail=detail)
+    recovery["flight_dumps"] = len(recorder.dumps)
     return ChaosResult(
         primitive, num_gpus, kind, backend,
-        ok=same and recovered and not event_mismatch,
-        detail=detail, recovery=recovery,
+        ok=ok, detail=detail, recovery=recovery,
     )
 
 
@@ -338,9 +361,18 @@ def run_chaos_matrix(
     edge_factor: int = 8,
     seed: int = 3,
     progress: Optional[Callable[[str], None]] = None,
+    dump_dir: Optional[str] = None,
 ) -> List[ChaosResult]:
-    """The full chaos matrix; returns one :class:`ChaosResult` per cell."""
+    """The full chaos matrix; returns one :class:`ChaosResult` per cell.
+
+    ``dump_dir`` (optional) collects each cell's flight-recorder crash
+    dump as ``<dir>/<primitive>-<gpus>-<kind>-<backend>.dump.json``;
+    cells that never dump (clean recovery without escalation) leave no
+    file.
+    """
     inputs = _build_inputs(rmat_scale, edge_factor, seed)
+    if dump_dir is not None:
+        os.makedirs(dump_dir, exist_ok=True)
     results: List[ChaosResult] = []
     for primitive in primitives:
         for n in gpu_counts:
@@ -350,10 +382,16 @@ def run_chaos_matrix(
                     ("processes",) if kind in HOST_CHAOS_KINDS else backends
                 )
                 for backend in cell_backends:
+                    dump_path = None
+                    if dump_dir is not None:
+                        dump_path = os.path.join(
+                            dump_dir,
+                            f"{primitive}-{n}-{kind}-{backend}.dump.json",
+                        )
                     r = run_chaos_case(
                         primitive, n, kind, backend,
                         rmat_scale=rmat_scale, edge_factor=edge_factor,
-                        seed=seed, _inputs=inputs,
+                        seed=seed, dump_path=dump_path, _inputs=inputs,
                     )
                     results.append(r)
                     if progress is not None:

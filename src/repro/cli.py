@@ -29,6 +29,13 @@ Commands
     ``run --trace`` (``docs/observability.md``); ``run`` also accepts
     ``--events FILE.jsonl`` for the structured event log and
     ``--profile`` for the per-operator W/H/C/S hot-spot table.
+``analyze``
+    Critical-path analysis of a Chrome trace: per-superstep critical
+    GPU/path, barrier slack attributed into W/H/C/S, stragglers, load
+    imbalance, and zero-comm / perfect-balance what-if estimates
+    (``docs/observability.md``).  ``run`` also accepts
+    ``--flight-recorder OUT.json`` to arm the always-on crash
+    recorder and ``--metrics-out FILE`` for OpenMetrics exposition.
 """
 
 from __future__ import annotations
@@ -109,6 +116,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--profile", action="store_true",
                      help="print the per-operator hot-spot table mapped "
                           "onto the BSP W/H/C/S terms")
+    run.add_argument("--flight-recorder", metavar="OUT.json",
+                     dest="flight_recorder",
+                     help="attach the always-on flight recorder (bounded "
+                          "ring of recent events); a crash writes the "
+                          "dump — last supersteps, heartbeat ages, "
+                          "metrics snapshot — to OUT.json")
+    run.add_argument("--metrics-out", metavar="FILE", dest="metrics_out",
+                     help="write the run's metrics as an OpenMetrics/"
+                          "Prometheus text exposition")
 
     part = sub.add_parser("partition", help="compare partitioners")
     part.add_argument("--dataset", default="soc-orkut")
@@ -145,12 +161,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="exit 1 if the threads backend is >1.2x "
                             "slower than serial, the processes backend "
                             "is slower than threads, an attached "
-                            "tracer is >1.5x serial, or the worker "
-                            "supervisor is >1.05x the plain processes "
-                            "backend, on the 4-GPU rmat BFS case (CI "
-                            "regression gate; the backend gates report "
-                            "'skipped' on a 1-core host instead of "
-                            "passing vacuously)")
+                            "tracer is >1.5x serial (or >1.5x the plain "
+                            "processes run on the processes backend), "
+                            "the flight recorder is >1.05x serial, or "
+                            "the worker supervisor is >1.05x the plain "
+                            "processes backend, on the 4-GPU rmat BFS "
+                            "case (CI regression gate; the "
+                            "processes-based gates report 'skipped' on "
+                            "a 1-core host instead of passing "
+                            "vacuously)")
     bench.add_argument("--baseline", metavar="BENCH.json",
                        help="previous bench JSON to compare the serial "
                             "(tracing-disabled) medians against; skipped "
@@ -181,6 +200,10 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", metavar="FILE", dest="json_out",
                        help="also write the per-cell results (recovery "
                             "counters, event cross-checks) as JSON")
+    chaos.add_argument("--dump-dir", metavar="DIR", dest="dump_dir",
+                       help="write each cell's flight-recorder crash "
+                            "dump (escalations, cell failures) as "
+                            "DIR/<cell>.dump.json")
 
     trace = sub.add_parser(
         "trace",
@@ -190,6 +213,24 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--events", metavar="FILE.jsonl",
                        help="also validate a JSONL event log written by "
                             "`run --events`")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="critical-path analysis of a Chrome trace: per-superstep "
+             "critical GPU, W/H/C/S slack attribution, stragglers, and "
+             "what-if estimates",
+    )
+    analyze.add_argument("trace_file",
+                         help="Chrome trace_event JSON from `run --trace`")
+    analyze.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the full analysis report as JSON "
+                              "instead of the table")
+    analyze.add_argument("--top", type=int, metavar="N", default=None,
+                         help="show only the N supersteps with the "
+                              "longest critical paths")
+    analyze.add_argument("--what-if", action="store_true", dest="what_if",
+                         help="append the zero-comm and perfect-balance "
+                              "counterfactual estimates")
 
     check = sub.add_parser(
         "check", help="lint sources against the framework contract"
@@ -260,7 +301,8 @@ def _prepare(args):
     return graph, scale
 
 
-def _run_once(args, graph, scale, num_gpus, out=None, tracer=None):
+def _run_once(args, graph, scale, num_gpus, out=None, tracer=None,
+              recorder=None):
     from .primitives import RUNNERS
 
     spec = SPECS[getattr(args, "gpu_model", "k40")]
@@ -268,6 +310,8 @@ def _run_once(args, graph, scale, num_gpus, out=None, tracer=None):
     kwargs = {}
     if tracer is not None:
         kwargs["tracer"] = tracer
+    if recorder is not None:
+        kwargs["flight_recorder"] = recorder
     if getattr(args, "partitioner", "random") != "random":
         kwargs["partitioner"] = make_partitioner(args.partitioner, args.seed)
     if getattr(args, "sanitize", False):
@@ -317,9 +361,21 @@ def _cmd_run(args, out) -> int:
             bus = EventBus()
             bus.subscribe(writer)
         tracer = Tracer(bus=bus)
+    recorder = None
+    if getattr(args, "flight_recorder", None):
+        from .obs import FlightRecorder
+
+        recorder = FlightRecorder(path=args.flight_recorder)
     try:
         result, metrics = _run_once(args, graph, scale, args.gpus,
-                                    tracer=tracer)
+                                    tracer=tracer, recorder=recorder)
+    except Exception:
+        if recorder is not None and recorder.dumps:
+            print(
+                f"flight recorder: wrote crash dump {args.flight_recorder}",
+                file=sys.stderr,
+            )
+        raise
     finally:
         if writer is not None:
             writer.close()
@@ -371,6 +427,18 @@ def _cmd_run(args, out) -> int:
             from .obs import render_profile
 
             print(render_profile(tracer), file=out)
+    if recorder is not None:
+        print(
+            f"flight recorder: {recorder.recorded} events recorded, "
+            f"{len(recorder.ring)} in ring (capacity {recorder.capacity}), "
+            f"{len(recorder.dumps)} dump(s)",
+            file=out,
+        )
+    if getattr(args, "metrics_out", None):
+        from .obs import write_openmetrics
+
+        write_openmetrics(metrics, args.metrics_out)
+        print(f"wrote {args.metrics_out} (OpenMetrics)", file=out)
     if metrics.sanitizer_hazards is not None:
         hazards = metrics.sanitizer_hazards
         if hazards:
@@ -469,6 +537,8 @@ def _cmd_bench(args, out) -> int:
             f"{c['speedup_kernels']:.2f}x",
             f"{c['speedup_workspace']:.2f}x",
             f"{c['overhead_traced']:.2f}x",
+            f"{c['overhead_traced_processes']:.2f}x",
+            f"{c['overhead_recorded']:.2f}x",
             f"{c['supervision_overhead']:.2f}x",
         ]
         for c in result["cases"]
@@ -478,7 +548,8 @@ def _cmd_bench(args, out) -> int:
         render_table(
             ["dataset", "primitive", "GPUs", "serial ms", "threads ms",
              "procs ms", "kernels ms", "thr. x", "proc x", "eff/worker",
-             "kern x", "ws x", "trace cost", "sup cost"],
+             "kern x", "ws x", "trace cost", "ptrace cost", "rec cost",
+             "sup cost"],
             rows,
             title=f"enact() wall-clock "
                   f"(host cores: {result['host']['cpu_count']}, "
@@ -531,6 +602,8 @@ def _cmd_chaos(args, out) -> int:
         rmat_scale=args.rmat_scale,
         seed=args.seed,
     )
+    if getattr(args, "dump_dir", None):
+        kwargs["dump_dir"] = args.dump_dir
     if args.smoke:
         kwargs.update(gpu_counts=(2,), backends=("serial",))
     results = run_chaos_matrix(
@@ -618,6 +691,16 @@ def _cmd_trace(args, out) -> int:
             f"{name}×{n}" for name, n in sorted(summary["instants"].items())
         )
         print(f"instants: {inst}", file=out)
+    if summary.get("supervisor"):
+        sup = ", ".join(
+            f"{name}×{n}" for name, n in sorted(summary["supervisor"].items())
+        )
+        print(f"supervisor: {sup}", file=out)
+    if summary.get("recovery"):
+        rec = ", ".join(
+            f"{name}×{n}" for name, n in sorted(summary["recovery"].items())
+        )
+        print(f"recovery/checkpoint: {rec}", file=out)
     if args.events:
         try:
             problems += [
@@ -632,6 +715,39 @@ def _cmd_trace(args, out) -> int:
         print(f"trace: {len(problems)} problem(s)", file=sys.stderr)
         return 1
     print("trace: valid", file=out)
+    return 0
+
+
+def _cmd_analyze(args, out) -> int:
+    from .obs import (
+        TraceData,
+        analyze_trace,
+        load_chrome_trace,
+        render_analysis,
+        validate_chrome_trace,
+    )
+
+    try:
+        trace = load_chrome_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"repro analyze: error: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for p in problems:
+            print(f"analyze: {p}", file=sys.stderr)
+        print(f"analyze: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    report = analyze_trace(TraceData.from_chrome_trace(trace))
+    if args.as_json:
+        import json as _json
+
+        print(_json.dumps(report, indent=2, sort_keys=True), file=out)
+    else:
+        print(
+            render_analysis(report, top=args.top, what_if=args.what_if),
+            file=out,
+        )
     return 0
 
 
@@ -801,6 +917,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_chaos(args, out)
         if args.command == "trace":
             return _cmd_trace(args, out)
+        if args.command == "analyze":
+            return _cmd_analyze(args, out)
         if args.command == "check":
             return _cmd_check(args, out)
     except ReproError as exc:

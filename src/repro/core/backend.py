@@ -134,6 +134,9 @@ class ExecutionBackend:
     #: attached obs.Tracer, or None (the common, zero-overhead case);
     #: set by the enactor, read behind a single ``is None`` check
     tracer = None
+    #: attached obs.FlightRecorder, or None; same discipline as the
+    #: tracer — set by the enactor, guarded by one ``is None`` check
+    recorder = None
 
     def bind(self, enactor) -> None:
         """Called once by the owning enactor after construction."""
@@ -533,6 +536,22 @@ class ProcessesBackend(ExecutionBackend):
         for g in self._buckets[w]:
             self._owner.pop(g, None)
 
+    def heartbeat_ages(self) -> dict:
+        """Seconds since each live worker's last heartbeat write.
+
+        Crash-dump forensics: a slot whose age is far beyond the
+        supervision heartbeat interval was hung or dead at dump time.
+        Slots without a heartbeat (unsupervised or retired) are
+        omitted.
+        """
+        ages = {}
+        if self._heartbeats:
+            now = time.monotonic()
+            for w, hb in enumerate(self._heartbeats):
+                if hb is not None:
+                    ages[w] = now - hb.value
+        return ages
+
     # -- dispatch --------------------------------------------------------
     def run_iteration(self, enactor, iteration, iteration_obj,
                       frontiers, inboxes, gpu_indices, guarded=False):
@@ -610,6 +629,12 @@ class ProcessesBackend(ExecutionBackend):
                     raise err
                 sup.emit("worker.lost", vt=machine.clock.now, gpu=g,
                          iteration=iteration, reason="shm-integrity")
+                if self.recorder is not None:
+                    self.recorder.dump(
+                        "shm-integrity", error=err,
+                        heartbeats=self.heartbeat_ages(),
+                        faults=machine.faults,
+                    )
                 lost[g] = DeviceLostError(
                     str(err), gpu_id=g, iteration=iteration,
                     site="supervise.checksum",
@@ -738,6 +763,15 @@ class ProcessesBackend(ExecutionBackend):
         # values so RecoveryPolicy rolls back, reassigns onto the
         # survivors, and repartitions (pool resize happens at the
         # invalidate() that recovery triggers)
+        if self.recorder is not None:
+            # snapshot heartbeat ages *before* the worker is reaped —
+            # the stale slot is the whole story of a hang escalation
+            self.recorder.dump(
+                "supervisor-escalation", error=exc,
+                heartbeats=self.heartbeat_ages(),
+                faults=machine.faults,
+                worker=w, iteration=iteration,
+            )
         self._retire_worker(w)
         if not guarded:
             self._teardown_workers()

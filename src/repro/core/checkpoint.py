@@ -258,7 +258,8 @@ def capture_checkpoint(
     )
     if tracer is not None:
         tracer.instant(
-            "checkpoint.capture", iteration=int(iteration),
+            "checkpoint.capture", vt=problem.machine.clock.now,
+            iteration=int(iteration),
             nbytes=int(ckpt.nbytes), messages=len(messages),
             wall_dur=tracer.wall() - _wall0,
         )
@@ -362,6 +363,7 @@ def route_restored_state(
     if tracer is not None:
         tracer.instant(
             "recovery.restore-routed",
+            vt=problem.machine.clock.now,
             iteration=int(ckpt.iteration),
             frontier_items=int(sum(f.size for f in frontiers)),
             messages=len(messages),

@@ -25,6 +25,7 @@ reports peak memory in the run metrics.
 
 from __future__ import annotations
 
+import functools
 import threading
 from typing import List, Optional, Sequence, Type, Union
 
@@ -35,8 +36,10 @@ from ..errors import (
     ConvergenceError,
     DeviceLostError,
     DeviceMemoryError,
+    ReproError,
     SimulationError,
 )
+from ..obs.recorder import FlightRecorder
 from ..obs.tracer import COMM_TRACK, Tracer
 from ..partition.base import reassign_onto_survivors
 from ..sim.machine import Machine
@@ -61,6 +64,32 @@ from .stats import OpStats
 from .workspace import Workspace
 
 __all__ = ["Enactor"]
+
+
+def _dump_on_repro_error(fn):
+    """Flight-recorder hook for ``enact``: a framework error escaping
+    the run triggers a crash dump before propagating.
+
+    A decorator (rather than code inside ``enact``) so the barrier
+    discipline proof (REP113) keeps verifying the dispatch/merge body
+    unchanged, and so the recorder can never alter control flow — the
+    exception is always re-raised as-is.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, **reset_kwargs):
+        try:
+            return fn(self, **reset_kwargs)
+        except ReproError as exc:
+            recorder = self.recorder
+            if recorder is not None:
+                recorder.dump(
+                    "enact-error", error=exc,
+                    faults=self.machine.faults,
+                )
+            raise
+
+    return wrapper
 
 
 class Enactor:
@@ -163,6 +192,16 @@ class Enactor:
         Optional :class:`~repro.core.supervise.SupervisionConfig`
         overriding the deadline/heartbeat/checksum defaults; implies
         ``supervise=True``.
+    flight_recorder:
+        Optional :class:`~repro.obs.recorder.FlightRecorder` — the
+        always-on crash-forensics tier (docs/observability.md).  Keeps
+        a bounded ring of recent events/superstep summaries and dumps
+        a crash report when the supervisor escalates a worker failure
+        or a :class:`~repro.errors.ReproError` escapes ``enact()``.
+        Like the tracer it is a pure observer behind a ``recorder is
+        None`` fast path; unlike the tracer its memory is O(capacity),
+        so production runs can leave it attached (``repro bench``
+        gates the overhead at 1.05×).
     """
 
     def __init__(
@@ -183,10 +222,12 @@ class Enactor:
         relaxed_barriers: bool = False,
         supervise: bool = False,
         supervision=None,
+        flight_recorder: Optional[FlightRecorder] = None,
     ):
         self.problem = problem
         self.machine: Machine = problem.machine
         self.tracer = tracer
+        self.recorder = flight_recorder
         if tracer is not None:
             self.machine.attach_tracer(tracer)
         self.iteration_cls = iteration_cls
@@ -213,6 +254,8 @@ class Enactor:
         self.backend = make_backend(backend, num_gpus=n)
         if tracer is not None:
             self.backend.tracer = tracer
+        if flight_recorder is not None:
+            self.backend.recorder = flight_recorder
         self.supervisor = None
         if supervise or supervision is not None:
             from .backend import ProcessesBackend
@@ -234,6 +277,7 @@ class Enactor:
                 )
             self.supervisor = WorkerSupervisor(supervision)
             self.supervisor.tracer = tracer
+            self.supervisor.recorder = flight_recorder
             self.backend.supervisor = self.supervisor
         self.workspaces: List[Optional[Workspace]] = [
             Workspace(i) if use_workspace else None for i in range(n)
@@ -750,6 +794,11 @@ class Enactor:
                 "checkpoint", vt=machine.clock.now, iteration=iteration,
                 nbytes=int(ckpt.nbytes), seconds=dur,
             )
+        if self.recorder is not None:
+            self.recorder.record(
+                "checkpoint", vt=machine.clock.now, iteration=iteration,
+                nbytes=int(ckpt.nbytes),
+            )
 
     def _recover_gpu_loss(
         self,
@@ -794,6 +843,12 @@ class Enactor:
                     "recovery.gpu-loss", vt=machine.clock.now,
                     gpu=exc.gpu_id, iteration=exc.iteration,
                 )
+        if self.recorder is not None:
+            for exc in losses:
+                self.recorder.record(
+                    "recovery.gpu-loss", vt=machine.clock.now,
+                    gpu=exc.gpu_id, iteration=exc.iteration,
+                )
         for exc in losses:
             machine.lose_gpu(exc.gpu_id)
         metrics.degraded_gpus = sorted(machine.lost_gpus)
@@ -833,6 +888,12 @@ class Enactor:
                 lost=sorted(machine.lost_gpus),
                 restore_seconds=now - t0,
             )
+        if self.recorder is not None:
+            self.recorder.record(
+                "recovery.rollback", vt=now,
+                to_iteration=int(ckpt.iteration),
+                lost=sorted(machine.lost_gpus),
+            )
         frontiers = [np.asarray(f, dtype=np.int64) for f in frontiers]
         # repartition rebuilt the slice arrays: worker forks and any
         # shared-memory manifest now describe dead objects
@@ -840,6 +901,7 @@ class Enactor:
         return ckpt.iteration + 1, frontiers, inboxes
 
     # ------------------------------------------------------------------
+    @_dump_on_repro_error
     def enact(self, **reset_kwargs) -> RunMetrics:
         """Run the primitive to convergence; returns the run's metrics."""
         problem = self.problem
@@ -889,6 +951,10 @@ class Enactor:
             primitive=problem.name,
             scale=machine.scale,
         )
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.begin_run(problem.name, n, self.backend.name)
+            recorder.set_metrics(metrics)
         self._last_checkpoint = None
         if protected:
             # baseline checkpoint at "iteration -1": the post-reset state,
@@ -995,6 +1061,8 @@ class Enactor:
                         )
             rec.duration = machine.clock.now - iter_start
             metrics.iterations.append(rec)
+            if recorder is not None:
+                recorder.on_superstep(iteration, machine.clock.now, rec)
             iteration_obj.on_iteration_end(iteration)
 
             in_flight = sum(len(box) for box in inboxes)

@@ -258,6 +258,9 @@ class WorkerSupervisor:
         self.config = config or SupervisionConfig()
         #: attached obs.Tracer, or None; set by the enactor
         self.tracer = None
+        #: attached obs.FlightRecorder, or None; set by the enactor —
+        #: every supervision event is mirrored into its bounded ring
+        self.recorder = None
         # counters mirrored into RunMetrics at run end
         self.worker_respawns = 0
         self.supersteps_replayed = 0
@@ -426,6 +429,8 @@ class WorkerSupervisor:
 
     # -- observability ---------------------------------------------------
     def emit(self, type_: str, vt: float, **fields) -> None:
-        """Emit a supervisor event if a tracer is attached."""
+        """Emit a supervisor event to the tracer and flight recorder."""
         if self.tracer is not None:
             self.tracer.instant(type_, vt=vt, **fields)
+        if self.recorder is not None:
+            self.recorder.record(type_, vt=vt, **fields)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List
 
-from .events import SUPERVISION_EVENT_TYPES
+from .events import RECOVERY_EVENT_TYPES, SUPERVISION_EVENT_TYPES
 from .tracer import COMM_TRACK, SUPERVISOR_TRACK, Tracer
 
 __all__ = [
@@ -36,14 +36,24 @@ INSTANT_TYPES = frozenset(
         "barrier",
         "direction.switch",
         "checkpoint",
+        "checkpoint.capture",
         "recovery.retry",
         "recovery.oom-regrow",
         "recovery.gpu-loss",
         "recovery.rollback",
+        "recovery.restore-routed",
         "sanitizer.hazard",
         "mc.divergence",
     }
     | SUPERVISION_EVENT_TYPES
+)
+
+#: instant names counted into the summarizer's checkpoint/recovery
+#: bucket (``repro trace`` surfaces them even when the run recovered
+#: quietly)
+_RECOVERY_INSTANTS = (
+    RECOVERY_EVENT_TYPES
+    | {"checkpoint", "checkpoint.capture", "recovery.restore-routed"}
 )
 
 _US = 1e6  # virtual seconds -> trace microseconds
@@ -249,6 +259,16 @@ def summarize_chrome_trace(trace) -> dict:
             instants[ev.get("name", "?")] = instants.get(ev.get("name", "?"), 0) + 1
             end_us = max(end_us, float(ev.get("ts", 0.0)))
     other = trace.get("otherData", {}) if isinstance(trace, dict) else {}
+    supervisor = {
+        name: count
+        for name, count in sorted(instants.items())
+        if name in SUPERVISION_EVENT_TYPES
+    }
+    recovery = {
+        name: count
+        for name, count in sorted(instants.items())
+        if name in _RECOVERY_INSTANTS
+    }
     return {
         "primitive": other.get("primitive", ""),
         "backend": other.get("backend", ""),
@@ -256,5 +276,7 @@ def summarize_chrome_trace(trace) -> dict:
         "spans": span_count,
         "tracks": tracks,
         "instants": instants,
+        "supervisor": supervisor,
+        "recovery": recovery,
         "end_ms": end_us / 1e3,
     }

@@ -14,6 +14,7 @@ import json
 from typing import Callable, List, Optional
 
 __all__ = [
+    "EVENT_SCHEMA_VERSION",
     "EVENT_TYPES",
     "RECOVERY_EVENT_TYPES",
     "SUPERVISION_EVENT_TYPES",
@@ -22,6 +23,16 @@ __all__ = [
     "validate_event",
     "validate_events_jsonl",
 ]
+
+#: JSONL event schema version.  Version 1 was the implicit schema of
+#: PRs 4/9 (spans, barriers, recovery + supervision instants); version
+#: 2 adds the observability *products* as first-class records —
+#: ``recorder.dump`` (flight-recorder crash reports) and
+#: ``analysis.report`` (critical-path analyzer output) — so derived
+#: artifacts can ride the same stream they were computed from.  The
+#: OpenMetrics exposition (``repro.obs.metrics_export``) advertises
+#: this constant in its ``repro_schema_info`` metric.
+EVENT_SCHEMA_VERSION = 2
 
 #: recovery actions the chaos harness cross-checks against RunMetrics
 RECOVERY_EVENT_TYPES = frozenset(
@@ -63,6 +74,8 @@ EVENT_TYPES = frozenset(
         "checkpoint.capture",
         "recovery.restore-routed",
         "sanitizer.hazard",
+        "recorder.dump",
+        "analysis.report",
     }
     | RECOVERY_EVENT_TYPES
     | SUPERVISION_EVENT_TYPES

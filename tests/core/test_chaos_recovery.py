@@ -56,6 +56,44 @@ def test_chaos_matrix_full():
     )
 
 
+class TestFlightDumps:
+    def test_quiet_recovery_leaves_no_dump(self):
+        """A cell that recovers without supervisor escalation keeps its
+        flight recorder armed but never dumps."""
+        r = run_chaos_case("bfs", 2, "transient-comm", backend="serial")
+        assert r.ok
+        assert r.recovery["flight_dumps"] == 0
+
+    def test_escalating_worker_crash_cell_dumps(self, tmp_path):
+        """The worker-crash plan double-kills one worker, forcing the
+        supervisor to escalate past respawn — the escalation must leave
+        a crash dump even though the cell ultimately recovers."""
+        import json
+
+        path = tmp_path / "cell.dump.json"
+        r = run_chaos_case("bfs", 2, "worker-crash",
+                           dump_path=str(path))
+        assert r.ok, r.detail
+        assert r.recovery["flight_dumps"] >= 1
+        dump = json.loads(path.read_text("utf-8"))
+        assert dump["reason"] == "supervisor-escalation"
+        assert dump["error"]["class"] == "WorkerCrashError"
+        # heartbeat ages were snapshotted before the pool was reaped
+        assert dump["heartbeat_ages"]
+        assert dump["pending_faults"]["planned"] == 3
+
+    def test_escalating_shm_corrupt_cell_dumps(self, tmp_path):
+        import json
+
+        path = tmp_path / "cell.dump.json"
+        r = run_chaos_case("bfs", 2, "shm-corrupt", dump_path=str(path))
+        assert r.ok, r.detail
+        assert r.recovery["flight_dumps"] >= 1
+        dump = json.loads(path.read_text("utf-8"))
+        assert dump["reason"] == "shm-integrity"
+        assert dump["error"]["class"] == "ShmIntegrityError"
+
+
 class TestRecoverySemantics:
     def test_loss_without_checkpoint_raises(self, small_rmat):
         machine = Machine(2)

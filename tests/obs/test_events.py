@@ -3,6 +3,7 @@
 import json
 
 from repro.obs import (
+    EVENT_SCHEMA_VERSION,
     EventBus,
     JsonlWriter,
     Tracer,
@@ -46,6 +47,33 @@ class TestValidateEvent:
     def test_line_number_prefix(self):
         (p,) = validate_event({"type": "meteor"}, line_no=7)
         assert p.startswith("line 7: ")
+
+
+class TestSchemaV2:
+    def test_version_constant(self):
+        from repro.obs.events import EVENT_TYPES
+
+        assert EVENT_SCHEMA_VERSION == 2
+        # v2 promotes the observability products to first-class events
+        assert {"recorder.dump", "analysis.report"} <= EVENT_TYPES
+
+    def test_recorder_dump_validates(self):
+        assert validate_event({
+            "type": "recorder.dump",
+            "reason": "supervisor-escalation",
+            "num_gpus": 2,
+        }) == []
+
+    def test_analysis_report_validates(self):
+        assert validate_event({
+            "type": "analysis.report",
+            "num_gpus": 4,
+            "iteration": 0,
+        }) == []
+
+    def test_new_types_still_check_int_fields(self):
+        (p,) = validate_event({"type": "recorder.dump", "num_gpus": 2.5})
+        assert "non-integer 'num_gpus'" in p
 
 
 class TestJsonlRoundTrip:

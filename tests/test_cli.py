@@ -214,3 +214,107 @@ class TestChaos:
         )
         assert code == 0
         assert "2/2 recovered" in text
+
+
+def _faulted_trace(tmp_path):
+    """One gpu-loss BFS run exported as a Chrome trace file."""
+    from repro.sim.faults import FaultPlan, FaultSpec
+
+    plan = tmp_path / "plan.json"
+    FaultPlan([FaultSpec("gpu-loss", gpu=1, iteration=1)]).save(plan)
+    trace = tmp_path / "out.trace.json"
+    code, _ = run_cli(
+        "run", "bfs", "--dataset", "soc-LiveJournal1", "--gpus", "2",
+        "--faults", str(plan), "--checkpoint-every", "2",
+        "--trace", str(trace),
+    )
+    assert code == 0
+    return str(trace)
+
+
+class TestTrace:
+    def test_summary_counts_recovery_instants(self, tmp_path):
+        path = _faulted_trace(tmp_path)
+        code, text = run_cli("trace", path)
+        assert code == 0
+        assert "trace: valid" in text
+        line = [l for l in text.splitlines()
+                if l.startswith("recovery/checkpoint:")]
+        assert line, text
+        assert "recovery.rollback×1" in line[0]
+        assert "checkpoint×" in line[0]
+        assert "checkpoint.capture×" in line[0]
+        # no supervision ran, so no supervisor summary line
+        assert "supervisor:" not in text
+
+    def test_missing_file_exits_two(self):
+        code, _ = run_cli("trace", "/nonexistent/x.trace.json")
+        assert code == 2
+
+
+class TestAnalyze:
+    def test_renders_critical_path_table(self, tmp_path):
+        code, text = run_cli("analyze", _faulted_trace(tmp_path))
+        assert code == 0
+        assert "bfs critical path (2 GPUs" in text
+        assert "BSP terms (W + H·g + C + S·l):" in text
+        assert "stragglers" in text
+        assert "what-if" not in text
+
+    def test_top_and_what_if(self, tmp_path):
+        code, text = run_cli(
+            "analyze", _faulted_trace(tmp_path), "--top", "2", "--what-if"
+        )
+        assert code == 0
+        assert "what-if: zero-comm" in text
+        assert "serial span sum" in text
+
+    def test_json_report(self, tmp_path):
+        import json
+
+        code, text = run_cli("analyze", _faulted_trace(tmp_path), "--json")
+        assert code == 0
+        report = json.loads(text)
+        assert report["type"] == "analysis.report"
+        assert report["schema_version"] == 2
+        assert set(report["terms"]) == {"W", "H", "C", "S"}
+        wi = report["what_if"]
+        assert wi["zero_comm_s"] <= wi["serial_span_sum_s"] + 1e-12
+
+    def test_missing_file_exits_two(self):
+        code, _ = run_cli("analyze", "/nonexistent/x.trace.json")
+        assert code == 2
+
+    def test_invalid_trace_exits_one(self, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.trace.json"
+        bad.write_text(json.dumps({"traceEvents": []}), "utf-8")
+        code, _ = run_cli("analyze", str(bad))
+        assert code == 1
+
+
+class TestFlightRecorderFlag:
+    def test_clean_run_reports_ring_stats(self, tmp_path):
+        dump = tmp_path / "crash.json"
+        code, text = run_cli(
+            "run", "bfs", "--dataset", "soc-LiveJournal1", "--gpus", "2",
+            "--flight-recorder", str(dump),
+        )
+        assert code == 0
+        assert "flight recorder:" in text
+        assert "events recorded" in text
+        # a clean run never writes the crash dump
+        assert not dump.exists()
+
+    def test_metrics_out_writes_openmetrics(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        code, text = run_cli(
+            "run", "bfs", "--dataset", "soc-LiveJournal1", "--gpus", "2",
+            "--metrics-out", str(path),
+        )
+        assert code == 0
+        assert "(OpenMetrics)" in text
+        body = path.read_text("utf-8")
+        assert body.endswith("# EOF\n")
+        assert "repro_run_elapsed_virtual_seconds" in body
